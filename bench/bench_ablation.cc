@@ -1,0 +1,108 @@
+// Design-choice ablations: run PAAI-1 with each of its two security
+// mechanisms disabled and show the attack that mechanism exists to stop.
+//
+// A. Delayed sampling (§5). Safe configuration: the probe trails its data
+//    packet by more than the timestamp freshness window. Ablated: the
+//    probe follows almost immediately, so a withholding node can park
+//    every packet, learn from the probe whether it is monitored, forward
+//    the (still fresh) monitored ones and silently drop the rest — the
+//    source sees a clean path while ~(1-p) of the traffic dies.
+//
+// B. Onion reports (§5 fn. 6). Safe: nested MACs mean an upstream
+//    adversary can only truncate at its own position. Ablated
+//    (independent per-node acks): the adversary at F_1 drops every ack
+//    whose origin is >= 3 and thereby frames honest link l_2.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace paai;
+using namespace paai::runner;
+
+namespace {
+
+std::string links_of(const std::vector<std::size_t>& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (const auto l : v) out += "l_" + std::to_string(l) + " ";
+  return out;
+}
+
+ExperimentConfig base_config(std::uint64_t seed) {
+  ExperimentConfig cfg = paper_config(protocols::ProtocolKind::kPaai1,
+                                      40000, seed);
+  cfg.link_faults.clear();
+  cfg.params.probe_probability = 1.0 / 9.0;
+  cfg.params.send_rate_pps = 500.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Ablation — why delayed sampling and onion reports",
+                      "the design arguments of §5");
+
+  // --- A: delayed sampling vs the withholding adversary ------------------
+  Table a({"probe delay", "data delivered", "failure rate seen by S",
+           "convicted", "outcome"});
+  for (const bool safe : {true, false}) {
+    ExperimentConfig cfg = base_config(2024);
+    if (!safe) cfg.params.unsafe_probe_delay_ms = 1.0;
+    AdversarySpec spec;
+    spec.node = 3;
+    spec.kind = AdversarySpec::Kind::kWithholdRelease;
+    spec.rate = 1.0;  // withhold everything; release only if probed
+    cfg.adversaries.push_back(spec);
+
+    const ExperimentResult r = run_experiment(cfg);
+    // Ground truth: fraction of data crossings vs a clean run (~d per pkt).
+    const double delivered =
+        static_cast<double>(r.data_link_crossings) /
+        (static_cast<double>(r.packets_sent) * 6.0);
+    const bool caught = !r.final_convicted.empty();
+    a.row()
+        .cell(safe ? "safe (> freshness window)" : "ABLATED (1 ms)")
+        .num(delivered, 3)
+        .num(r.observed_e2e_rate, 3)
+        .cell(links_of(r.final_convicted))
+        .cell(safe ? (caught ? "attack localized" : "MISSED")
+                   : (caught ? "(still caught)" : "EVADED — dropped ~90% "
+                               "of data, looks clean"));
+  }
+  std::printf("-- A: withhold-until-probed adversary at F_3 "
+              "(withholds 100%% of data) --\n");
+  a.print(std::cout, args.csv);
+
+  // --- B: onion reports vs the origin-filter framing attack --------------
+  Table b({"ack scheme", "convicted", "frames honest link?"});
+  for (const bool onion : {true, false}) {
+    ExperimentConfig cfg = base_config(2025);
+    cfg.params.paai1_independent_acks = !onion;
+    AdversarySpec spec;
+    spec.node = 1;  // upstream adversary on the ack path
+    spec.kind = AdversarySpec::Kind::kOriginFilter;
+    spec.min_origin = 3;  // suppress acks of F_3.. to frame l_2
+    cfg.adversaries.push_back(spec);
+
+    const ExperimentResult r = run_experiment(cfg);
+    bool framed = false;
+    for (const std::size_t link : r.final_convicted) {
+      if (link != 0 && link != 1) framed = true;  // non-adjacent to F_1
+    }
+    b.row()
+        .cell(onion ? "onion reports (PAAI-1)" : "ABLATED (independent acks)")
+        .cell(links_of(r.final_convicted))
+        .cell(framed ? "YES — honest link convicted" : "no (adjacent only)");
+  }
+  std::printf("\n-- B: origin-filter ack dropper at F_1 targeting "
+              "origins >= 3 --\n");
+  b.print(std::cout, args.csv);
+
+  std::printf("\nconclusion: both mechanisms are load-bearing — removing "
+              "either re-enables the §5 attacks.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Each binary accepts:
+//   --csv          emit CSV instead of aligned columns
+//   --runs=N       Monte-Carlo runs (also env PAAI_RUNS); the paper used
+//                  10000 — defaults here are sized for a single core, and
+//                  the curves are already stable
+//   --scale=X      multiply default packet budgets (env PAAI_SCALE)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "runner/montecarlo.h"
+#include "util/csv.h"
+
+namespace paai::bench {
+
+struct BenchArgs {
+  bool csv = false;
+  long long runs = 0;      // 0 = per-bench default
+  double scale = 1.0;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    args.csv = has_flag(argc, argv, "--csv");
+    args.runs = flag_or_env(argc, argv, "--runs", "PAAI_RUNS", 0);
+    args.scale = static_cast<double>(
+                     flag_or_env(argc, argv, "--scale", "PAAI_SCALE", 100)) /
+                 100.0;
+    return args;
+  }
+
+  std::size_t runs_or(std::size_t dflt) const {
+    return runs > 0 ? static_cast<std::size_t>(runs) : dflt;
+  }
+
+  std::uint64_t scaled(std::uint64_t packets) const {
+    return static_cast<std::uint64_t>(static_cast<double>(packets) * scale);
+  }
+};
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("== %s ==\n(reproduces %s; see EXPERIMENTS.md for the "
+              "paper-vs-measured record)\n\n",
+              title, paper_ref);
+}
+
+/// Measured detection point of a protocol: runs Monte-Carlo over a
+/// log-spaced checkpoint grid; returns the MC result.
+inline runner::MonteCarloResult detection_curve(
+    protocols::ProtocolKind kind, std::uint64_t packets, std::size_t runs,
+    std::size_t grid_points = 16, std::uint64_t first_checkpoint = 100) {
+  runner::MonteCarloConfig mc;
+  mc.base = runner::paper_config(kind, packets, 0);
+  mc.base.checkpoints =
+      runner::log_checkpoints(first_checkpoint, packets, grid_points);
+  mc.runs = runs;
+  mc.seed0 = 1000;
+  mc.malicious_links = {4};
+  mc.sigma = 0.03;
+  return runner::run_monte_carlo(mc);
+}
+
+}  // namespace paai::bench

@@ -1,0 +1,9 @@
+// Figure 2(a): full-ack false positive/negative vs packets sent.
+#include "fig2_common.h"
+
+int main(int argc, char** argv) {
+  return paai::bench::run_fig2(argc, argv,
+                               paai::protocols::ProtocolKind::kFullAck,
+                               "Figure 2(a) — full-ack FP/FN", 6000, 300,
+                               50);
+}

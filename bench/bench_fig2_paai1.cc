@@ -1,0 +1,9 @@
+// Figure 2(b): PAAI-1 false positive/negative vs packets sent.
+#include "fig2_common.h"
+
+int main(int argc, char** argv) {
+  return paai::bench::run_fig2(argc, argv,
+                               paai::protocols::ProtocolKind::kPaai1,
+                               "Figure 2(b) — PAAI-1 FP/FN", 120000, 120,
+                               1000);
+}

@@ -1,0 +1,9 @@
+// Figure 2(c): PAAI-2 false positive/negative vs packets sent.
+#include "fig2_common.h"
+
+int main(int argc, char** argv) {
+  return paai::bench::run_fig2(argc, argv,
+                               paai::protocols::ProtocolKind::kPaai2,
+                               "Figure 2(c) — PAAI-2 FP/FN", 1000000, 24,
+                               10000);
+}

@@ -1,0 +1,78 @@
+// Figures 3(a) and 3(b): storage overhead of node F_1 over time, for
+// full-ack / PAAI-1 / PAAI-2 at source rates 1000 and 100 packets/second,
+// 2000 data packets total, malicious l_4 present. Within that budget only
+// the full-ack scheme reaches its converged condition (~10^3 packets), so
+// — exactly like the paper — full-ack is additionally shown with the
+// adversary bypassed at packet 1000 ("w/ AAI").
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace paai;
+using namespace paai::runner;
+
+namespace {
+
+struct Column {
+  protocols::ProtocolKind kind;
+  const char* label;
+  std::uint64_t bypass_after;  // 0 = w/o AAI
+};
+
+void run_rate(double rate_pps, std::size_t runs, bool csv) {
+  const std::uint64_t packets = 2000;
+  const double horizon =
+      static_cast<double>(packets) / rate_pps * 1.1;
+
+  const Column columns[] = {
+      {protocols::ProtocolKind::kFullAck, "full-ack_w/o_AAI", 0},
+      {protocols::ProtocolKind::kFullAck, "full-ack_w/_AAI", 1000},
+      {protocols::ProtocolKind::kPaai1, "PAAI-1_w/o_AAI", 0},
+      {protocols::ProtocolKind::kPaai2, "PAAI-2_w/o_AAI", 0},
+  };
+
+  std::vector<SeriesGrid> grids;
+  for (const Column& col : columns) {
+    MonteCarloConfig mc;
+    mc.base = paper_config(col.kind, packets, 0);
+    mc.base.params.send_rate_pps = rate_pps;
+    mc.base.storage_sample_period =
+        sim::milliseconds(1000.0 / rate_pps);  // once per packet slot
+    mc.base.bypass_after_packets = col.bypass_after;
+    mc.runs = runs;
+    mc.seed0 = 3000;
+    mc.storage_bins = 40;
+    mc.storage_horizon_seconds = horizon;
+    std::fprintf(stderr, "[fig3] %s @%g pps...\n", col.label, rate_pps);
+    grids.push_back(run_monte_carlo(mc).storage_grids[1]);
+  }
+
+  std::printf("\n-- F_1 storage vs time, source rate %g pkt/s "
+              "(mean packets stored over %zu runs) --\n",
+              rate_pps, runs);
+  Table table({"time_s", columns[0].label, columns[1].label,
+               columns[2].label, columns[3].label});
+  for (std::size_t i = 0; i < grids[0].size(); ++i) {
+    auto& row = table.row().num(grids[0].x(i), 3);
+    for (const auto& g : grids) row.num(g.stat(i).mean(), 2);
+  }
+  table.print(std::cout, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 3(a)/(b) — storage overhead of F_1",
+                      "Figures 3(a) (1000 pkt/s) and 3(b) (100 pkt/s)");
+  const std::size_t runs = args.runs_or(30);
+  run_rate(1000.0, runs, args.csv);
+  run_rate(100.0, runs, args.csv);
+  std::printf("\npaper's qualitative claims to check: storage scales "
+              "~linearly with the sending rate; PAAI-1 holds the least "
+              "state w/o AAI; full-ack w/ AAI drops to the lowest level "
+              "after the bypass at packet 1000.\n");
+  return 0;
+}

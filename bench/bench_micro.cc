@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark): crypto primitive throughput, onion
+// report build/verify, event-queue operations, and whole-simulation
+// packet throughput. Not a paper figure — these bound how far the
+// Monte-Carlo sweeps can be scaled on one core.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/provider.h"
+#include "crypto/sha256.h"
+#include "crypto/siphash.h"
+#include "net/onion.h"
+#include "runner/experiment.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace paai;
+
+void BM_Sha256_1KB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::Sha256::digest(ByteView(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KB);
+
+void BM_HmacSha256_64B(benchmark::State& state) {
+  Bytes key(32, 0x11), msg(64, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::hmac_sha256(ByteView(key.data(), key.size()),
+                            ByteView(msg.data(), msg.size())));
+  }
+}
+BENCHMARK(BM_HmacSha256_64B);
+
+void BM_SipHash_64B(benchmark::State& state) {
+  crypto::Key128 key{};
+  Bytes msg(64, 0x33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::siphash24(key, ByteView(msg.data(), msg.size())));
+  }
+}
+BENCHMARK(BM_SipHash_64B);
+
+void BM_ProviderMac(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? crypto::CryptoKind::kReal
+                                        : crypto::CryptoKind::kFast;
+  const auto provider = crypto::make_crypto(kind);
+  const crypto::Key key = crypto::test_master_key(1);
+  Bytes msg(40, 0x44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        provider->mac(key, ByteView(msg.data(), msg.size())));
+  }
+  state.SetLabel(kind == crypto::CryptoKind::kReal ? "real" : "fast");
+}
+BENCHMARK(BM_ProviderMac)->Arg(0)->Arg(1);
+
+void BM_OnionBuildVerify(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const auto provider = crypto::make_fast_crypto();
+  const crypto::KeyStore ks(crypto::test_master_key(2), d);
+  std::vector<crypto::Key> keys(d + 1);
+  for (std::size_t i = 1; i <= d; ++i) keys[i] = ks.node_key(i);
+  const Bytes report = {0x01, 0x02, 0x03, 0x04, 0x05};
+
+  for (auto _ : state) {
+    Bytes onion = net::onion_originate(*provider, keys[d],
+                                       static_cast<std::uint8_t>(d),
+                                       ByteView(report.data(), report.size()));
+    for (std::size_t i = d; i-- > 1;) {
+      onion = net::onion_wrap(*provider, keys[i],
+                              static_cast<std::uint8_t>(i),
+                              ByteView(report.data(), report.size()),
+                              ByteView(onion.data(), onion.size()));
+    }
+    const auto result = net::onion_verify(
+        *provider, keys, d, ByteView(onion.data(), onion.size()),
+        [](std::uint8_t, ByteView) { return true; });
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OnionBuildVerify)->Arg(6)->Arg(12);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.after((i * 7919) % 1000, [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const auto kind = static_cast<protocols::ProtocolKind>(state.range(0));
+  std::uint64_t packets_total = 0;
+  for (auto _ : state) {
+    runner::ExperimentConfig cfg = runner::paper_config(kind, 2000, 1);
+    cfg.params.send_rate_pps = 1000.0;
+    const auto result = runner::run_experiment(cfg);
+    benchmark::DoNotOptimize(result.observations);
+    packets_total += result.packets_sent;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(packets_total));
+  state.SetLabel(protocols::protocol_name(kind));
+}
+BENCHMARK(BM_EndToEndSimulation)
+    ->Arg(static_cast<int>(protocols::ProtocolKind::kFullAck))
+    ->Arg(static_cast<int>(protocols::ProtocolKind::kPaai1))
+    ->Arg(static_cast<int>(protocols::ProtocolKind::kPaai2))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Shared implementation for the three Figure 2 benches: false-positive and
+// false-negative rates vs number of packets sent (log-spaced grid), for
+// one protocol on the reference path (d = 6, rho = 0.01, malicious l_4 at
+// ~alpha = 0.03).
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace paai::bench {
+
+inline int run_fig2(int argc, char** argv, protocols::ProtocolKind kind,
+                    const char* fig_name, std::uint64_t default_packets,
+                    std::size_t default_runs,
+                    std::uint64_t first_checkpoint) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::size_t runs = args.runs_or(default_runs);
+  const std::uint64_t packets = args.scaled(default_packets);
+
+  print_header(fig_name,
+               "Figure 2: false positive/negative vs packets sent");
+  std::printf("protocol=%s runs=%zu packets=%llu (paper used 10000 runs; "
+              "--runs=N or PAAI_RUNS to scale)\n\n",
+              protocols::protocol_name(kind), runs,
+              static_cast<unsigned long long>(packets));
+
+  const auto mc = detection_curve(kind, packets, runs, 18, first_checkpoint);
+
+  Table table({"packets_sent", "false_positive", "false_negative",
+               "fp_ci95", "fn_ci95"});
+  for (const auto& pt : mc.curve) {
+    table.row()
+        .integer(static_cast<long long>(pt.packets))
+        .num(pt.fp, 4)
+        .num(pt.fn, 4)
+        .num(wilson_halfwidth(pt.fp, runs), 3)
+        .num(wilson_halfwidth(pt.fn, runs), 3);
+  }
+  table.print(std::cout, args.csv);
+
+  if (mc.detection_packets) {
+    std::printf("\nconverged (FP, FN <= 0.03) at %llu packets = %.2f min "
+                "@100 pkt/s\n",
+                static_cast<unsigned long long>(*mc.detection_packets),
+                static_cast<double>(*mc.detection_packets) / 6000.0);
+  } else {
+    std::printf("\nnot converged within the packet budget\n");
+  }
+  std::printf("per-run stable conviction: mean %.0f packets (sd %.0f, "
+              "%zu/%zu runs)\n",
+              mc.per_run_detection_packets.mean(),
+              mc.per_run_detection_packets.stddev(),
+              mc.per_run_detection_packets.count(), runs);
+  std::printf("final theta estimates (mean over runs):");
+  for (std::size_t i = 0; i < mc.final_thetas.size(); ++i) {
+    std::printf(" l_%zu=%.4f", i, mc.final_thetas[i].mean());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace paai::bench

@@ -1,0 +1,106 @@
+// Scenario: resource-constrained sensor network (the paper's motivating
+// setting for the storage metric, §1/§3.1).
+//
+// A sink collects readings over a 8-hop multihop path of battery-powered
+// motes. Control traffic and RAM are scarce: we compare what each
+// protocol would cost the motes — control packets per reading, bytes of
+// overhead, and peak per-mote packet buffer — and then let PAAI-1 (the
+// paper's recommendation) localize a mote that silently sheds 15% of the
+// readings it should forward.
+//
+//   $ ./build/examples/sensor_network
+#include <cstdio>
+#include <iostream>
+
+#include "runner/experiment.h"
+#include "util/csv.h"
+
+using namespace paai;
+using namespace paai::runner;
+
+namespace {
+
+struct Cost {
+  double ctrl_pkts = 0.0;
+  double ctrl_bytes = 0.0;
+  double peak_storage = 0.0;
+  std::vector<std::size_t> convicted;
+};
+
+Cost evaluate(protocols::ProtocolKind kind, std::uint64_t packets) {
+  ExperimentConfig cfg;
+  cfg.protocol = kind;
+  cfg.path.length = 8;           // deeper multihop than the ISP case
+  cfg.path.natural_loss = 0.02;  // lossy radio links
+  cfg.path.max_latency_ms = 8.0;
+  cfg.path.seed = 99;
+  cfg.params.send_rate_pps = 20.0;   // one reading per 50 ms
+  cfg.params.payload_size = 64;      // small sensor frames
+  cfg.params.probe_probability = 1.0 / 16.0;
+  cfg.params.total_packets = packets;
+  cfg.decision_threshold = 0.045;    // alpha tuned for the lossier links
+  cfg.storage_sample_period = sim::milliseconds(25.0);
+
+  AdversarySpec mal;
+  mal.node = 5;
+  mal.kind = AdversarySpec::Kind::kTypeRates;
+  mal.type_rates.data = 0.15;
+  cfg.adversaries.push_back(mal);
+
+  const ExperimentResult r = run_experiment(cfg);
+  Cost cost;
+  cost.ctrl_pkts = r.overhead_packets_ratio;
+  cost.ctrl_bytes = r.overhead_bytes_ratio;
+  for (const auto& series : r.storage) {
+    for (const auto& pt : series.points()) {
+      cost.peak_storage = std::max(cost.peak_storage, pt.value);
+    }
+  }
+  cost.convicted = r.final_convicted;
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sensor sink monitoring an 8-hop mote path "
+              "(rho=0.02/link, mote F_5 sheds 15%% of readings)\n\n");
+
+  struct Row {
+    protocols::ProtocolKind kind;
+    const char* name;
+    std::uint64_t packets;
+  };
+  const Row rows[] = {
+      {protocols::ProtocolKind::kFullAck, "full-ack", 20000},
+      {protocols::ProtocolKind::kPaai1, "PAAI-1", 60000},
+      {protocols::ProtocolKind::kStatisticalFl, "statistical-FL", 60000},
+  };
+
+  Table table({"protocol", "ctrl_pkts/reading", "overhead_bytes/byte",
+               "peak_mote_buffer_pkts", "verdict"});
+  for (const Row& row : rows) {
+    const Cost c = evaluate(row.kind, row.packets);
+    std::string verdict = c.convicted.empty() ? "no conviction yet" : "";
+    for (const auto l : c.convicted) {
+      verdict += "l_" + std::to_string(l) + " ";
+    }
+    table.row()
+        .cell(row.name)
+        .num(c.ctrl_pkts, 3)
+        .num(c.ctrl_bytes, 3)
+        .num(c.peak_storage, 0)
+        .cell(verdict);
+  }
+  table.print(std::cout);
+
+  std::printf("\nreading the table: full-ack buys the fastest conviction "
+              "but acknowledges every reading — on duty-cycled radios "
+              "that is the whole power budget. PAAI-1 keeps control "
+              "traffic at ~10%% and still pins the shedding mote's link "
+              "exactly. Statistical FL is nearly free, but at this packet "
+              "budget its sampled count ratios are still noisy — note the "
+              "spurious extra conviction — the Table 2 detection-rate "
+              "trade-off, live.\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "adversary/strategy.h"
+
+namespace paai::adversary {
+
+namespace {
+
+class UniformDropper final : public Strategy {
+ public:
+  UniformDropper(double rate, Rng rng) : rate_(rate), rng_(rng) {}
+
+  Action on_packet(const Context&) override {
+    if (!active()) return Action::kForward;
+    return rng_.bernoulli(rate_) ? Action::kDrop : Action::kForward;
+  }
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+class TypeRateDropper final : public Strategy {
+ public:
+  TypeRateDropper(const TypeRates& rates, Rng rng)
+      : rates_(rates), rng_(rng) {}
+
+  Action on_packet(const Context& ctx) override {
+    if (!active()) return Action::kForward;
+    double rate = 0.0;
+    switch (ctx.type) {
+      case net::PacketType::kData:
+        rate = rates_.data;
+        break;
+      case net::PacketType::kProbe:
+      case net::PacketType::kFlRequest:
+        rate = rates_.probe;
+        break;
+      case net::PacketType::kDestAck:
+      case net::PacketType::kReportAck:
+      case net::PacketType::kFlReport:
+        rate = rates_.ack;
+        break;
+    }
+    return rng_.bernoulli(rate) ? Action::kDrop : Action::kForward;
+  }
+
+ private:
+  TypeRates rates_;
+  Rng rng_;
+};
+
+class AckDropper final : public Strategy {
+ public:
+  AckDropper(double rate, Rng rng) : rate_(rate), rng_(rng) {}
+
+  Action on_packet(const Context& ctx) override {
+    if (!active()) return Action::kForward;
+    const bool is_ack = ctx.type == net::PacketType::kDestAck ||
+                        ctx.type == net::PacketType::kReportAck ||
+                        ctx.type == net::PacketType::kFlReport;
+    if (is_ack && rng_.bernoulli(rate_)) return Action::kDrop;
+    return Action::kForward;
+  }
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+class Corrupter final : public Strategy {
+ public:
+  Corrupter(double rate, Rng rng) : rate_(rate), rng_(rng) {}
+
+  Action on_packet(const Context&) override {
+    if (!active()) return Action::kForward;
+    return rng_.bernoulli(rate_) ? Action::kCorrupt : Action::kForward;
+  }
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+class Withholder final : public Strategy {
+ public:
+  Withholder(double rate, bool release_on_probe, Rng rng)
+      : rate_(rate), release_on_probe_(release_on_probe), rng_(rng) {}
+
+  Action on_packet(const Context& ctx) override {
+    if (!active()) return Action::kForward;
+    if (ctx.type == net::PacketType::kData && ctx.dir == sim::Direction::kToDest &&
+        rng_.bernoulli(rate_)) {
+      return Action::kWithhold;
+    }
+    return Action::kForward;
+  }
+
+  Action on_withheld_probe(const Context&) override {
+    return release_on_probe_ ? Action::kForward : Action::kDrop;
+  }
+
+ private:
+  double rate_;
+  bool release_on_probe_;
+  Rng rng_;
+};
+
+class BurstDropper final : public Strategy {
+ public:
+  BurstDropper(std::uint32_t burst, std::uint32_t period, Rng rng)
+      : burst_(burst),
+        period_(period == 0 ? 1 : period),
+        phase_(rng.next_below(period == 0 ? 1 : period)) {}
+
+  Action on_packet(const Context& ctx) override {
+    if (!active() || ctx.type != net::PacketType::kData ||
+        ctx.dir != sim::Direction::kToDest) {
+      return Action::kForward;
+    }
+    const std::uint64_t pos = (counter_++ + phase_) % period_;
+    return pos < burst_ ? Action::kDrop : Action::kForward;
+  }
+
+ private:
+  std::uint32_t burst_;
+  std::uint32_t period_;
+  std::uint64_t phase_;
+  std::uint64_t counter_ = 0;
+};
+
+class OriginFilterDropper final : public Strategy {
+ public:
+  explicit OriginFilterDropper(std::uint8_t min_origin)
+      : min_origin_(min_origin) {}
+
+  Action on_packet(const Context& ctx) override {
+    if (!active() || ctx.type != net::PacketType::kReportAck) {
+      return Action::kForward;
+    }
+    const auto ack = net::ReportAck::decode(ctx.wire);
+    if (!ack || ack->report.empty()) return Action::kForward;
+    // First report byte = node index of the outermost contributor. For
+    // independent acks that IS the origin; for onion reports it is merely
+    // the adjacent wrapper and leaks nothing about the origin.
+    return ack->report[0] >= min_origin_ ? Action::kDrop : Action::kForward;
+  }
+
+ private:
+  std::uint8_t min_origin_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_uniform_dropper(double drop_rate, Rng rng) {
+  return std::make_unique<UniformDropper>(drop_rate, rng);
+}
+
+std::unique_ptr<Strategy> make_type_rate_dropper(const TypeRates& rates,
+                                                 Rng rng) {
+  return std::make_unique<TypeRateDropper>(rates, rng);
+}
+
+std::unique_ptr<Strategy> make_ack_dropper(double drop_rate, Rng rng) {
+  return std::make_unique<AckDropper>(drop_rate, rng);
+}
+
+std::unique_ptr<Strategy> make_corrupter(double corrupt_rate, Rng rng) {
+  return std::make_unique<Corrupter>(corrupt_rate, rng);
+}
+
+std::unique_ptr<Strategy> make_withholder(double withhold_rate,
+                                          bool release_on_probe, Rng rng) {
+  return std::make_unique<Withholder>(withhold_rate, release_on_probe, rng);
+}
+
+std::unique_ptr<Strategy> make_burst_dropper(std::uint32_t burst,
+                                             std::uint32_t period, Rng rng) {
+  return std::make_unique<BurstDropper>(burst, period, rng);
+}
+
+std::unique_ptr<Strategy> make_origin_filter_dropper(
+    std::uint8_t min_origin) {
+  return std::make_unique<OriginFilterDropper>(min_origin);
+}
+
+}  // namespace paai::adversary

@@ -1,0 +1,117 @@
+// Adversary strategies (§3.2 adversary model, §8.1 methodology).
+//
+// The adversary compromises *nodes*; it may drop, alter, or inject packets
+// on its adjacent links, knows all protocol parameters, holds the
+// compromised nodes' keys, and can do traffic analysis. We model each
+// compromised node's behaviour as a Strategy consulted by an
+// AdversarialRelay wrapper (src/protocols/adversarial_relay.h) before any
+// honest processing happens.
+//
+// Actions:
+//   kForward  — behave honestly for this packet.
+//   kDrop     — silently drop it.
+//   kCorrupt  — forward an altered copy (the paper folds alteration into
+//               "drop": §5 "our protocol design ensures that S interprets
+//               each such activity simply as a data packet drop").
+//   kWithhold — buffer the packet instead of forwarding; used by the
+//               delayed-release attack against delayed sampling. The
+//               wrapper calls on_withheld_probe() when a probe for a
+//               withheld packet shows up.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.h"
+#include "sim/node.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace paai::adversary {
+
+enum class Action : std::uint8_t { kForward, kDrop, kCorrupt, kWithhold };
+
+struct Context {
+  net::PacketType type = net::PacketType::kData;
+  sim::Direction dir = sim::Direction::kToDest;
+  std::size_t node_index = 0;
+  ByteView wire;  // full header bytes, should the strategy want to parse
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Decides the fate of a packet traversing the compromised node.
+  virtual Action on_packet(const Context& ctx) = 0;
+
+  /// For a strategy that returned kWithhold earlier: a probe referencing
+  /// the withheld data packet has just arrived. Return kForward to release
+  /// the stale packet (it will carry its original, now-old timestamp) or
+  /// kDrop to discard it.
+  virtual Action on_withheld_probe(const Context& probe_ctx) {
+    (void)probe_ctx;
+    return Action::kDrop;
+  }
+
+  /// §8.1 tactic (b): a compromised node that dropped a data packet still
+  /// answers later ack requests "as if it were functioning correctly", so
+  /// its dropping manifests on its *downstream* link. All our built-in
+  /// strategies behave this way.
+  virtual bool pretend_honest_in_acks() const { return true; }
+
+  /// The runner flips this to simulate the source bypassing an identified
+  /// adversary ("w/ AAI" curves of Fig. 3): an inactive strategy forwards
+  /// everything.
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = true;
+};
+
+/// Drops every packet type at the same rate — the optimal strategy per
+/// Corollary 1 and the one used in the paper's simulations.
+std::unique_ptr<Strategy> make_uniform_dropper(double drop_rate, Rng rng);
+
+/// Drops data, probe, and ack packets at individually configured rates
+/// (used to *verify* Corollary 1: no advantage over uniform dropping).
+struct TypeRates {
+  double data = 0.0;
+  double probe = 0.0;
+  double ack = 0.0;  // applies to kDestAck, kReportAck, and FL reports
+};
+std::unique_ptr<Strategy> make_type_rate_dropper(const TypeRates& rates,
+                                                 Rng rng);
+
+/// Drops only reverse-path report/ack traffic — the incrimination attempt
+/// of §5 footnote 6. Security tests assert honest links stay unconvicted.
+std::unique_ptr<Strategy> make_ack_dropper(double drop_rate, Rng rng);
+
+/// Forwards everything but corrupts (alters) packets at the given rate.
+std::unique_ptr<Strategy> make_corrupter(double corrupt_rate, Rng rng);
+
+/// Withholds data packets, releasing them only if a probe arrives (the
+/// attack delayed sampling + timestamp freshness is designed to defeat,
+/// §5). `release_on_probe` = true releases the stale packet, false drops
+/// unprobed packets silently.
+std::unique_ptr<Strategy> make_withholder(double withhold_rate,
+                                          bool release_on_probe, Rng rng);
+
+/// Drops *bursts* of data packets: out of every `period` data packets
+/// traversing the node, a contiguous run of `burst` is dropped (random
+/// phase). Models congestion-like, non-i.i.d. malicious dropping; the
+/// scorers' estimates depend only on long-run rates, so localization must
+/// still work (tested in security_test.cc).
+std::unique_ptr<Strategy> make_burst_dropper(std::uint32_t burst,
+                                             std::uint32_t period, Rng rng);
+
+/// Drops report acks whose embedded origin index is >= `min_origin` — the
+/// selective incrimination attack of §5: suppress the acks of nodes
+/// beyond an honest target so the target's link looks like the loss
+/// point. Effective against the independent-ack ablation of PAAI-1 and
+/// harmless against onion reports (whose outermost layer index reveals
+/// nothing about the origin) — demonstrated in bench_ablation.
+std::unique_ptr<Strategy> make_origin_filter_dropper(std::uint8_t min_origin);
+
+}  // namespace paai::adversary

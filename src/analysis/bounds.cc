@@ -1,0 +1,100 @@
+#include "analysis/bounds.h"
+
+#include <cmath>
+
+namespace paai::analysis {
+
+double tau_fullack(const Params& p) {
+  const double e = p.eps();
+  return std::log(2.0 / p.sigma) /
+         (8.0 * e * e * std::pow(1.0 - p.rho, 2.0 + static_cast<double>(p.d)));
+}
+
+double tau_paai1(const Params& p) { return tau_fullack(p) / p.p; }
+
+double tau_paai2(const Params& p) {
+  const double e = p.eps();
+  const double d = static_cast<double>(p.d);
+  return std::pow(2.0, d) * std::log(2.0 / p.sigma) / (18.0 * e * e) * d *
+         std::log2(d);
+}
+
+double tau_statfl(const Params& p) {
+  const double e = p.eps();
+  const double d = static_cast<double>(p.d);
+  return d * d * std::log(d / p.sigma) / (p.p * e * e);
+}
+
+double tau_comb1(const Params& p) { return tau_paai1(p); }
+
+double tau_comb2(const Params& p) { return tau_paai2(p) / p.p; }
+
+double detection_minutes(double packets, double rate_pps) {
+  return packets / rate_pps / 60.0;
+}
+
+double zeta_onion(std::size_t z, const Params& p) {
+  return static_cast<double>(z) * p.alpha;
+}
+
+double zeta_paai2(std::size_t z, const Params& p) {
+  const double d = static_cast<double>(p.d);
+  const double zz = static_cast<double>(z);
+  return 1.0 - std::pow(1.0 - p.alpha, 2.0 * d) /
+                   std::pow(1.0 - p.rho, 2.0 * (d - zz));
+}
+
+double psi_threshold(const Params& p) {
+  return 1.0 - std::pow(1.0 - p.alpha, 2.0 * static_cast<double>(p.d));
+}
+
+double comm_fullack(const Params& p) {
+  return 1.0 + p.psi * static_cast<double>(p.d);
+}
+
+double comm_paai1(const Params& p) {
+  return p.p * static_cast<double>(p.d);
+}
+
+double comm_paai2(const Params& p) {
+  // Destination ack per packet, plus probe + constant-size report on loss.
+  return 1.0 + 2.0 * p.psi;
+}
+
+double comm_statfl(const Params& p) {
+  // One request and one O(d) report per interval; vanishing per packet.
+  (void)p;
+  return 0.0;
+}
+
+double comm_comb1(const Params& p) {
+  return p.p * (1.0 + p.psi * static_cast<double>(p.d));
+}
+
+double comm_comb2(const Params& p) {
+  return p.p * (1.0 + 2.0 * p.psi);
+}
+
+StorageBound storage_fullack(const Params&) { return {2.0, 1.0}; }
+
+StorageBound storage_paai1(const Params& p) {
+  return {0.5 + p.p, 0.5 + p.p};
+}
+
+StorageBound storage_paai2(const Params&) { return {2.0, 1.0}; }
+
+StorageBound storage_statfl(const Params& p) { return {p.p, p.p}; }
+
+StorageBound storage_comb1(const Params& p) {
+  return {0.5 + 2.0 * p.p, 0.5 + 2.0 * p.p};
+}
+
+StorageBound storage_comb2(const Params& p) { return {1.0 + p.p, 1.0}; }
+
+double optimal_spread_total(std::size_t z, const Params& p) {
+  // Corollary 2: one malicious link per path maximizes total damage; the
+  // aggregate malicious drop rate grows linearly in z.
+  return static_cast<double>(z) * p.alpha;
+}
+
+}  // namespace paai::analysis

@@ -1,0 +1,89 @@
+// Closed-form results of §7 (Theorems 1-2, Corollaries 1-3, Table 1).
+//
+// Pure functions; the bench binaries evaluate them to regenerate the
+// paper's analytical rows, and tests cross-check them against the worked
+// example of §7.2 (tau_1 ~ 1500, tau_2 ~ 5e4, tau_3 ~ 6e5, statistical FL
+// ~ 2e7 for sigma = 0.03, rho = 0.01, alpha = 0.03, d = 6, p = 1/d^2).
+#pragma once
+
+#include <cstddef>
+
+namespace paai::analysis {
+
+struct Params {
+  std::size_t d = 6;     // path length (hops)
+  double rho = 0.01;     // natural per-link loss rate (max)
+  double alpha = 0.03;   // per-link drop-rate threshold
+  double sigma = 0.03;   // allowed false-positive probability
+  double p = 1.0 / 36.0; // probe / sampling frequency
+  double psi = 0.077;    // end-to-end loss rate (for overhead formulas)
+
+  /// eps = alpha - rho: the accuracy margin of Theorem 2.
+  double eps() const { return alpha - rho; }
+};
+
+// --- Theorem 2: detection rate (data packets until convergence) ---------
+
+/// tau_1 = ln(2/sigma) / (8 eps^2 (1-rho)^{2+d})          (full-ack)
+double tau_fullack(const Params& p);
+
+/// tau_2 = tau_1 / p                                      (PAAI-1)
+double tau_paai1(const Params& p);
+
+/// tau_3 = 2^d ln(2/sigma)/(18 eps^2) * d log2(d)         (PAAI-2)
+double tau_paai2(const Params& p);
+
+/// d^2 ln(d/sigma) / (p eps^2)                            (statistical FL)
+double tau_statfl(const Params& p);
+
+/// Combination 1 retains PAAI-1's detection rate.
+double tau_comb1(const Params& p);
+
+/// Combination 2: tau_3 / p.
+double tau_comb2(const Params& p);
+
+/// Converts a packet count to minutes at `rate_pps` packets per second.
+double detection_minutes(double packets, double rate_pps);
+
+// --- Theorem 1: maximum undetected malicious end-to-end drop rate --------
+
+/// Full-ack / PAAI-1: zeta = z * alpha for z compromised links.
+double zeta_onion(std::size_t z, const Params& p);
+
+/// PAAI-2: zeta = 1 - (1-alpha)^{2d} / (1-rho)^{2(d-z)}.
+double zeta_paai2(std::size_t z, const Params& p);
+
+/// PAAI-2's end-to-end threshold psi_th = 1 - (1-alpha)^{2d}.
+double psi_threshold(const Params& p);
+
+// --- §7.3: communication overhead (control packets per data packet) ------
+
+double comm_fullack(const Params& p);  // 1 + psi d
+double comm_paai1(const Params& p);    // p d
+double comm_paai2(const Params& p);    // O(1): dest ack + psi (probe+report)
+double comm_statfl(const Params& p);   // 2/interval -> ~0
+double comm_comb1(const Params& p);    // p (1 + psi d)
+double comm_comb2(const Params& p);    // p O(1)
+
+// --- §7.4: storage bounds, in units of r_0 * nu (packets) ----------------
+
+struct StorageBound {
+  double worst = 0.0;
+  double ideal = 0.0;
+};
+
+StorageBound storage_fullack(const Params& p);  // {2, 1}
+StorageBound storage_paai1(const Params& p);    // {0.5+p, 0.5+p}
+StorageBound storage_paai2(const Params& p);    // {2, 1}
+StorageBound storage_statfl(const Params& p);   // {~p, ~p}
+StorageBound storage_comb1(const Params& p);    // {0.5+2p, 0.5+2p}
+StorageBound storage_comb2(const Params& p);    // {1+p, 1}
+
+// --- Corollary 2 helper ---------------------------------------------------
+
+/// Total malicious end-to-end drop rate across k paths when z compromised
+/// links are spread one-per-path (the adversary's optimal deployment) for
+/// an onion-report protocol.
+double optimal_spread_total(std::size_t z, const Params& p);
+
+}  // namespace paai::analysis

@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// PAAI-2 intermediate nodes re-encrypt the ack report at every hop
+// (E_K(...)) so that the identity of the selected node is hidden from
+// traffic analysis. ChaCha20 gives us fast, nonce-based symmetric
+// encryption without needing padding (report sizes stay constant, which is
+// itself part of the obliviousness property).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace paai::crypto {
+
+using Key256 = std::array<std::uint8_t, 32>;
+using Nonce96 = std::array<std::uint8_t, 12>;
+
+/// XORs `data` with the ChaCha20 keystream for (key, nonce, counter).
+/// Encryption and decryption are the same operation.
+Bytes chacha20_xor(const Key256& key, const Nonce96& nonce,
+                   std::uint32_t counter, ByteView data);
+
+/// Generates a single 64-byte keystream block (exposed for test vectors).
+std::array<std::uint8_t, 64> chacha20_block(const Key256& key,
+                                            const Nonce96& nonce,
+                                            std::uint32_t counter);
+
+}  // namespace paai::crypto

@@ -1,0 +1,22 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on our SHA-256.
+//
+// This is both the MAC ([m]_K in the paper) and — truncated — the keyed PRF
+// used for secure sampling and the PAAI-2 selection predicate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace paai::crypto {
+
+/// Full 32-byte HMAC-SHA256 tag.
+Digest32 hmac_sha256(ByteView key, ByteView message);
+
+/// First 8 bytes of the tag as a big-endian u64 — a PRF output usable for
+/// sampling decisions.
+std::uint64_t hmac_prf_u64(ByteView key, ByteView message);
+
+}  // namespace paai::crypto

@@ -1,0 +1,150 @@
+#include "crypto/provider.h"
+
+#include <cstring>
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/siphash.h"
+
+namespace paai::crypto {
+
+bool CryptoProvider::verify_mac(const Key& key, ByteView message,
+                                const Mac& tag) const {
+  const Mac expected = mac(key, message);
+  return ct_equal(ByteView(expected.data(), expected.size()),
+                  ByteView(tag.data(), tag.size()));
+}
+
+namespace {
+
+Nonce96 make_nonce(std::uint64_t nonce) {
+  Nonce96 n{};
+  for (int i = 0; i < 8; ++i) {
+    n[4 + i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  return n;
+}
+
+class RealCrypto final : public CryptoProvider {
+ public:
+  std::array<std::uint8_t, 32> hash(ByteView message) const override {
+    return Sha256::digest(message);
+  }
+
+  Mac mac(const Key& key, ByteView message) const override {
+    const Digest32 full =
+        hmac_sha256(ByteView(key.data(), key.size()), message);
+    Mac out;
+    std::memcpy(out.data(), full.data(), out.size());
+    return out;
+  }
+
+  std::uint64_t prf(const Key& key, ByteView message) const override {
+    return hmac_prf_u64(ByteView(key.data(), key.size()), message);
+  }
+
+  Bytes encrypt(const Key& key, std::uint64_t nonce,
+                ByteView plaintext) const override {
+    return chacha20_xor(key, make_nonce(nonce), 0, plaintext);
+  }
+
+  Bytes decrypt(const Key& key, std::uint64_t nonce,
+                ByteView ciphertext) const override {
+    return chacha20_xor(key, make_nonce(nonce), 0, ciphertext);
+  }
+};
+
+class FastCrypto final : public CryptoProvider {
+ public:
+  std::array<std::uint8_t, 32> hash(ByteView message) const override {
+    // Four SipHash lanes under fixed public keys. Wide enough that
+    // accidental collisions never perturb a simulation; documented as
+    // non-cryptographic in provider.h.
+    std::array<std::uint8_t, 32> out;
+    for (std::uint8_t lane = 0; lane < 4; ++lane) {
+      Key128 k{};
+      k[0] = lane;
+      k[15] = 0xa5;
+      const std::uint64_t h = siphash24(k, message);
+      for (int i = 0; i < 8; ++i) {
+        out[lane * 8 + i] = static_cast<std::uint8_t>(h >> (56 - 8 * i));
+      }
+    }
+    return out;
+  }
+
+  Mac mac(const Key& key, ByteView message) const override {
+    const std::uint64_t t = sip(key, 0x01, message);
+    Mac out;
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<std::uint8_t>(t >> (56 - 8 * i));
+    }
+    return out;
+  }
+
+  std::uint64_t prf(const Key& key, ByteView message) const override {
+    return sip(key, 0x02, message);
+  }
+
+  Bytes encrypt(const Key& key, std::uint64_t nonce,
+                ByteView plaintext) const override {
+    return stream_xor(key, nonce, plaintext);
+  }
+
+  Bytes decrypt(const Key& key, std::uint64_t nonce,
+                ByteView ciphertext) const override {
+    return stream_xor(key, nonce, ciphertext);
+  }
+
+ private:
+  static std::uint64_t sip(const Key& key, std::uint8_t domain,
+                           ByteView message) {
+    Key128 k;
+    std::memcpy(k.data(), key.data(), k.size());
+    k[0] ^= domain;
+    return siphash24(k, message);
+  }
+
+  static Bytes stream_xor(const Key& key, std::uint64_t nonce,
+                          ByteView data) {
+    // SipHash-CTR keystream: block i = SipHash(key', nonce || i).
+    Bytes out(data.begin(), data.end());
+    std::uint8_t block_input[16];
+    for (int i = 0; i < 8; ++i) {
+      block_input[i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+    }
+    std::uint64_t counter = 0;
+    std::size_t offset = 0;
+    while (offset < out.size()) {
+      for (int i = 0; i < 8; ++i) {
+        block_input[8 + i] = static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+      }
+      const std::uint64_t ks =
+          sip(key, 0x03, ByteView(block_input, sizeof(block_input)));
+      const std::size_t n = std::min<std::size_t>(8, out.size() - offset);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[offset + i] ^= static_cast<std::uint8_t>(ks >> (56 - 8 * i));
+      }
+      offset += n;
+      ++counter;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CryptoProvider> make_real_crypto() {
+  return std::make_unique<RealCrypto>();
+}
+
+std::unique_ptr<CryptoProvider> make_fast_crypto() {
+  return std::make_unique<FastCrypto>();
+}
+
+std::unique_ptr<CryptoProvider> make_crypto(CryptoKind kind) {
+  return kind == CryptoKind::kReal ? make_real_crypto() : make_fast_crypto();
+}
+
+}  // namespace paai::crypto

@@ -1,0 +1,49 @@
+#include "crypto/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paai::crypto {
+
+SecureSampler::SecureSampler(const CryptoProvider& crypto, const Key& key,
+                             double p)
+    : crypto_(crypto), key_(key), p_(std::clamp(p, 0.0, 1.0)) {
+  // Threshold such that P[u64 < threshold] == p (up to 2^-64).
+  threshold_ = p_ >= 1.0 ? ~0ULL
+                         : static_cast<std::uint64_t>(
+                               std::ldexp(p_, 64));
+}
+
+bool SecureSampler::sampled(ByteView packet_id) const {
+  if (p_ >= 1.0) return true;
+  if (p_ <= 0.0) return false;
+  return crypto_.prf(key_, packet_id) < threshold_;
+}
+
+bool selection_predicate(const CryptoProvider& crypto, const Key& node_key,
+                         ByteView challenge, std::size_t node_index,
+                         std::size_t path_length) {
+  if (node_index < 1 || node_index > path_length) {
+    throw std::out_of_range("selection_predicate: node index outside [1, d]");
+  }
+  const std::uint64_t denom =
+      static_cast<std::uint64_t>(path_length - node_index + 1);
+  if (denom == 1) return true;  // F_d always fires.
+  // PRF output reduced mod denom: bias is ~denom/2^64, i.e. negligible.
+  return crypto.prf(node_key, challenge) % denom == 0;
+}
+
+std::size_t selected_node(const CryptoProvider& crypto,
+                          const std::vector<Key>& node_keys,
+                          ByteView challenge, std::size_t path_length) {
+  for (std::size_t i = 1; i <= path_length; ++i) {
+    if (selection_predicate(crypto, node_keys[i], challenge, i,
+                            path_length)) {
+      return i;
+    }
+  }
+  return path_length;  // unreachable: T_d always true
+}
+
+}  // namespace paai::crypto

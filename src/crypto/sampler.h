@@ -1,0 +1,53 @@
+// Keyed sampling primitives for the probabilistic protocols.
+//
+// SecureSampler — PAAI-1 §6.1 phase 1: "S uses a secure sampling (SS)
+// algorithm to determine whether it must send out a probe for m. When given
+// any input m, the SS algorithm must output Yes with a fixed probability p."
+// Implemented as PRF_k(H(m)) < p * 2^64 with k known only to S, so an
+// adversary observing m cannot predict whether it is sampled.
+//
+// SelectionPredicate — PAAI-2 §6.2 phase 2: node F_i computes a
+// PRF_{K_i}-based predicate T_i over the probe challenge Z that returns
+// true with probability 1/(d - i + 1). The *selected* node is the first
+// sampled one; the telescoping product makes the selected index uniform on
+// {1..d} (property-tested via chi-square in tests/sampler_test.cc).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/provider.h"
+#include "util/bytes.h"
+
+namespace paai::crypto {
+
+class SecureSampler {
+ public:
+  /// p is clamped to [0, 1].
+  SecureSampler(const CryptoProvider& crypto, const Key& key, double p);
+
+  /// Deterministic, keyed Bernoulli(p) decision for this identifier.
+  bool sampled(ByteView packet_id) const;
+
+  double probability() const { return p_; }
+
+ private:
+  const CryptoProvider& crypto_;
+  Key key_;
+  double p_;
+  std::uint64_t threshold_;
+};
+
+/// Evaluates T_i for node index i (1-based) on a path of d hops, keyed with
+/// the node's pairwise key. Returns true with probability 1/(d - i + 1).
+bool selection_predicate(const CryptoProvider& crypto, const Key& node_key,
+                         ByteView challenge, std::size_t node_index,
+                         std::size_t path_length);
+
+/// Source-side helper: index of the node *selected* for this challenge
+/// (the first i in [1, d] whose predicate fires). Because T_d fires with
+/// probability 1, a selected node always exists.
+std::size_t selected_node(const CryptoProvider& crypto,
+                          const std::vector<Key>& node_keys,  // [1..d] used
+                          ByteView challenge, std::size_t path_length);
+
+}  // namespace paai::crypto

@@ -1,0 +1,64 @@
+#include "crypto/siphash.h"
+
+namespace paai::crypto {
+
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int n) {
+  return (x << n) | (x >> (64 - n));
+}
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void sip_round(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                      std::uint64_t& v3) {
+  v0 += v1; v1 = rotl64(v1, 13); v1 ^= v0; v0 = rotl64(v0, 32);
+  v2 += v3; v3 = rotl64(v3, 16); v3 ^= v2;
+  v0 += v3; v3 = rotl64(v3, 21); v3 ^= v0;
+  v2 += v1; v1 = rotl64(v1, 17); v1 ^= v2; v2 = rotl64(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const Key128& key, ByteView data) {
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t len = data.size();
+  const std::size_t end = len - (len % 8);
+  for (std::size_t i = 0; i < end; i += 8) {
+    const std::uint64_t m = load_le64(data.data() + i);
+    v3 ^= m;
+    sip_round(v0, v1, v2, v3);
+    sip_round(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = 0; i < (len % 8); ++i) {
+    last |= static_cast<std::uint64_t>(data[end + i]) << (8 * i);
+  }
+  v3 ^= last;
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace paai::crypto

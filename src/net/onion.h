@@ -1,0 +1,66 @@
+// Onion reports (§3.3).
+//
+// When every intermediate node must return an authenticated local report,
+// reports nest:  A_d = [d || R_d]_{K_d},  A_i = [i || R_i || A_{i+1}]_{K_i}.
+// Each layer's MAC covers the node's index, its local report, and the
+// entire serialized inner onion, so a downstream node (or an adversary on
+// the reverse path) cannot strip, reorder, or substitute layers without
+// invalidating the first honest layer above it — that is what lets the
+// source blame the *first* broken hop and no other (§4 "Security").
+//
+// Wire format: a sequence of layers, outermost (closest to S) first:
+//   layer := node_index (u8) || report_len (u16) || report || mac (8B)
+// Wrapping prepends one layer; the inner bytes are included in the MAC but
+// never re-encoded, so wrap is O(layer size).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "crypto/provider.h"
+#include "util/bytes.h"
+
+namespace paai::net {
+
+/// Creates a single-layer onion: A_i = [i || R_i]_{K_i}. Used by the node
+/// that originates a report (the destination, or the node whose downstream
+/// wait-timer expired).
+Bytes onion_originate(const crypto::CryptoProvider& crypto,
+                      const crypto::Key& key, std::uint8_t node_index,
+                      ByteView local_report);
+
+/// Wraps an existing serialized onion with one more layer:
+/// A_i = [i || R_i || A_{i+1}]_{K_i}.
+Bytes onion_wrap(const crypto::CryptoProvider& crypto, const crypto::Key& key,
+                 std::uint8_t node_index, ByteView local_report,
+                 ByteView inner);
+
+struct OnionVerifyResult {
+  /// Number of consecutive valid layers starting from the outermost. A
+  /// layer is valid iff its node index equals the expected next index, its
+  /// MAC verifies under that node's key, and the caller's report check
+  /// accepts its local report.
+  std::size_t valid_layers = 0;
+  /// True iff every byte of the onion was consumed by valid layers.
+  bool complete = false;
+  /// Node index of the innermost valid layer (the report's originator);
+  /// meaningful only when valid_layers > 0.
+  std::uint8_t origin = 0;
+};
+
+/// Checks a received onion against per-node keys. `keys[i]` must hold K_i
+/// for i in [1, d]; layers are expected to carry indices first_index,
+/// first_index+1, ... . `report_ok(i, R_i)` validates layer contents.
+OnionVerifyResult onion_verify(
+    const crypto::CryptoProvider& crypto, const std::vector<crypto::Key>& keys,
+    std::size_t path_length, ByteView serialized,
+    const std::function<bool(std::uint8_t, ByteView)>& report_ok,
+    std::uint8_t first_index = 1);
+
+/// Size in bytes one layer adds for a report of the given length.
+constexpr std::size_t onion_layer_overhead(std::size_t report_len) {
+  return 1 + 2 + report_len + crypto::kMacSize;
+}
+
+}  // namespace paai::net

@@ -1,0 +1,165 @@
+#include "net/packet.h"
+
+#include <cstring>
+
+namespace paai::net {
+
+namespace {
+
+void put_id(WireWriter& w, const PacketId& id) {
+  w.raw(ByteView(id.data(), id.size()));
+}
+
+bool get_id(WireReader& r, PacketId& id) {
+  Bytes tmp;
+  if (!r.raw(id.size(), tmp)) return false;
+  std::memcpy(id.data(), tmp.data(), id.size());
+  return true;
+}
+
+bool get_mac(WireReader& r, crypto::Mac& mac) {
+  Bytes tmp;
+  if (!r.raw(mac.size(), tmp)) return false;
+  std::memcpy(mac.data(), tmp.data(), mac.size());
+  return true;
+}
+
+bool check_type(WireReader& r, PacketType expected) {
+  std::uint8_t t = 0;
+  return r.u8(t) && t == static_cast<std::uint8_t>(expected);
+}
+
+}  // namespace
+
+Bytes DataPacket::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(PacketType::kData));
+  w.u64(seq);
+  w.u64(timestamp_ns);
+  w.u16(payload_size);
+  return std::move(w).take();
+}
+
+std::optional<DataPacket> DataPacket::decode(ByteView wire) {
+  WireReader r(wire);
+  if (!check_type(r, PacketType::kData)) return std::nullopt;
+  DataPacket p;
+  if (!r.u64(p.seq) || !r.u64(p.timestamp_ns) || !r.u16(p.payload_size)) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+PacketId DataPacket::id(const crypto::CryptoProvider& crypto) const {
+  const Bytes header = encode();
+  return packet_id_of(crypto, ByteView(header.data(), header.size()));
+}
+
+std::size_t DataPacket::wire_size() const {
+  return encode().size() + payload_size;
+}
+
+Bytes DestAck::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(PacketType::kDestAck));
+  put_id(w, data_id);
+  w.raw(ByteView(tag.data(), tag.size()));
+  return std::move(w).take();
+}
+
+std::optional<DestAck> DestAck::decode(ByteView wire) {
+  WireReader r(wire);
+  if (!check_type(r, PacketType::kDestAck)) return std::nullopt;
+  DestAck a;
+  if (!get_id(r, a.data_id) || !get_mac(r, a.tag)) return std::nullopt;
+  return a;
+}
+
+Bytes Probe::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(PacketType::kProbe));
+  put_id(w, data_id);
+  w.u64(challenge);
+  w.var_bytes(ByteView(auth.data(), auth.size()));
+  return std::move(w).take();
+}
+
+std::optional<Probe> Probe::decode(ByteView wire) {
+  WireReader r(wire);
+  if (!check_type(r, PacketType::kProbe)) return std::nullopt;
+  Probe p;
+  if (!get_id(r, p.data_id) || !r.u64(p.challenge) || !r.var_bytes(p.auth)) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+Bytes ReportAck::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(PacketType::kReportAck));
+  put_id(w, data_id);
+  w.var_bytes(ByteView(report.data(), report.size()));
+  return std::move(w).take();
+}
+
+std::optional<ReportAck> ReportAck::decode(ByteView wire) {
+  WireReader r(wire);
+  if (!check_type(r, PacketType::kReportAck)) return std::nullopt;
+  ReportAck a;
+  if (!get_id(r, a.data_id) || !r.var_bytes(a.report)) return std::nullopt;
+  return a;
+}
+
+Bytes FlRequest::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(PacketType::kFlRequest));
+  w.u64(interval);
+  return std::move(w).take();
+}
+
+std::optional<FlRequest> FlRequest::decode(ByteView wire) {
+  WireReader r(wire);
+  if (!check_type(r, PacketType::kFlRequest)) return std::nullopt;
+  FlRequest q;
+  if (!r.u64(q.interval)) return std::nullopt;
+  return q;
+}
+
+Bytes FlReport::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(PacketType::kFlReport));
+  w.u64(interval);
+  w.var_bytes(ByteView(report.data(), report.size()));
+  return std::move(w).take();
+}
+
+std::optional<FlReport> FlReport::decode(ByteView wire) {
+  WireReader r(wire);
+  if (!check_type(r, PacketType::kFlReport)) return std::nullopt;
+  FlReport p;
+  if (!r.u64(p.interval) || !r.var_bytes(p.report)) return std::nullopt;
+  return p;
+}
+
+std::optional<PacketType> peek_type(ByteView wire) {
+  if (wire.empty()) return std::nullopt;
+  const std::uint8_t t = wire[0];
+  if (t < static_cast<std::uint8_t>(PacketType::kData) ||
+      t > static_cast<std::uint8_t>(PacketType::kFlRequest)) {
+    return std::nullopt;
+  }
+  return static_cast<PacketType>(t);
+}
+
+PacketId packet_id_of(const crypto::CryptoProvider& crypto, ByteView message) {
+  const auto digest = crypto.hash(message);
+  PacketId id;
+  std::memcpy(id.data(), digest.data(), id.size());
+  return id;
+}
+
+std::string id_prefix(const PacketId& id) {
+  return to_hex(ByteView(id.data(), 3)) + "..";
+}
+
+}  // namespace paai::net

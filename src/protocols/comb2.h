@@ -1,0 +1,39 @@
+// Combination 2 (§10): one *selected* node acknowledges a *selected
+// fraction* of data packets — PAAI-2's oblivious selection applied only to
+// a K_d-keyed sample of the traffic.
+//
+// The probe function is keyed with the key shared between S and D, so the
+// destination independently knows which packets to ack; an intermediate
+// node that sees a valid destination ack pass learns the packet was
+// sampled and that no probe will follow, and frees its state early.
+// Communication drops below both PAAI-1 and PAAI-2 (O(p) per packet), at
+// the price of a detection rate slower by the 1/p factor (Table 1).
+//
+// Implementation: thin subclasses of the PAAI-2 agents with the
+// Combination-2 mode flags — the protocol machinery (challenges,
+// predicates, layered re-encryption, prefix scoring) is identical.
+#pragma once
+
+#include "protocols/paai2.h"
+
+namespace paai::protocols {
+
+class Comb2Source final : public Paai2Source {
+ public:
+  explicit Comb2Source(const ProtocolContext& ctx)
+      : Paai2Source(ctx, /*sampled_mode=*/true) {}
+};
+
+class Comb2Relay final : public Paai2Relay {
+ public:
+  explicit Comb2Relay(const ProtocolContext& ctx)
+      : Paai2Relay(ctx, /*release_on_dest_ack=*/true) {}
+};
+
+class Comb2Destination final : public Paai2Destination {
+ public:
+  explicit Comb2Destination(const ProtocolContext& ctx)
+      : Paai2Destination(ctx, /*ack_only_sampled=*/true) {}
+};
+
+}  // namespace paai::protocols

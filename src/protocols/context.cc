@@ -1,0 +1,56 @@
+#include "protocols/context.h"
+
+#include <stdexcept>
+
+namespace paai::protocols {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kFullAck:
+      return "full-ack";
+    case ProtocolKind::kPaai1:
+      return "PAAI-1";
+    case ProtocolKind::kPaai2:
+      return "PAAI-2";
+    case ProtocolKind::kCombination1:
+      return "combination-1";
+    case ProtocolKind::kCombination2:
+      return "combination-2";
+    case ProtocolKind::kStatisticalFl:
+      return "statistical-FL";
+    case ProtocolKind::kSigAck:
+      return "sig-ack";
+  }
+  return "unknown";
+}
+
+ProtocolContext::ProtocolContext(const crypto::CryptoProvider& crypto,
+                                 const crypto::KeyStore& keys,
+                                 const sim::PathNetwork& net,
+                                 const ProtocolParams& params)
+    : crypto_(&crypto), keys_(&keys), params_(params), d_(net.length()) {
+  if (keys.path_length() != d_) {
+    throw std::invalid_argument(
+        "ProtocolContext: key store and network disagree on path length");
+  }
+  rtt_.reserve(d_ + 1);
+  for (std::size_t i = 0; i <= d_; ++i) rtt_.push_back(net.rtt_bound(i));
+
+  // One-way transit bound is half the path RTT bound; allow for the
+  // configured clock error on top, then require probe_delay > window.
+  const auto clock_error =
+      sim::milliseconds(net.config().max_clock_error_ms);
+  freshness_window_ = rtt_[0] / 2 + 2 * clock_error + sim::milliseconds(0.5);
+  probe_delay_ = freshness_window_ + rtt_[0] / 4 + sim::milliseconds(0.5);
+  if (params.unsafe_probe_delay_ms > 0.0) {
+    // Ablation only: breaks the probe_delay > freshness_window invariant
+    // on purpose (see ProtocolParams::unsafe_probe_delay_ms).
+    probe_delay_ = sim::milliseconds(params.unsafe_probe_delay_ms);
+  }
+  timer_slack_ = sim::milliseconds(1.0);
+
+  key_vec_.resize(d_ + 1);
+  for (std::size_t i = 1; i <= d_; ++i) key_vec_[i] = keys.node_key(i);
+}
+
+}  // namespace paai::protocols

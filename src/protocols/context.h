@@ -1,0 +1,122 @@
+// Shared protocol context and parameters.
+//
+// One ProtocolContext is built per monitored path and shared (by reference)
+// by every agent on it. It bundles the crypto provider, the key store, and
+// the timing book-keeping all five phases depend on: RTT bounds r_i, the
+// timestamp freshness window, and PAAI's delayed-sampling probe delay.
+//
+// Timing rationale (§5): probes are sent *after* the data packet (delayed
+// sampling); a node discards data whose timestamp is older than the
+// freshness window, and the probe delay strictly exceeds that window, so an
+// adversary that withholds a packet until the probe reveals whether it is
+// monitored can only release a packet that every honest downstream node
+// will reject as expired — and the resulting drop is charged to one of the
+// adversary's own links. Hence: freshness_window >= max one-way transit +
+// clock error, and probe_delay > freshness_window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/keystore.h"
+#include "crypto/provider.h"
+#include "sim/network.h"
+#include "sim/time.h"
+
+namespace paai::protocols {
+
+enum class ProtocolKind : std::uint8_t {
+  kFullAck,
+  kPaai1,
+  kPaai2,
+  kCombination1,
+  kCombination2,
+  kStatisticalFl,
+  kSigAck,  // footnote-1 asymmetric-crypto variant (W-OTS acks)
+};
+
+const char* protocol_name(ProtocolKind kind);
+
+struct ProtocolParams {
+  /// PAAI-1 / combinations: probe (sampling) frequency p. The paper's
+  /// reference setting is p = 1/d^2.
+  double probe_probability = 1.0 / 36.0;
+  /// Source sending rate, data packets per second.
+  double send_rate_pps = 100.0;
+  /// Total data packets the source will emit.
+  std::uint64_t total_packets = 2000;
+  /// Simulated application payload bytes per data packet.
+  std::uint16_t payload_size = 1000;
+  /// Statistical FL: data packets per reporting interval.
+  std::uint64_t fl_interval_packets = 500;
+  /// Statistical FL: per-packet secret sampling probability.
+  double fl_sampling = 1.0 / 36.0;
+
+  /// Footnote 7: attach a MAC chain (one tag per node) to every probe so
+  /// that relays can reject bogus probes instead of spending storage and
+  /// uplink on them. Costs O(d) bytes per probe.
+  bool authenticated_probes = false;
+
+  // --- Ablation switches (INSECURE — for the design-choice benches) ---
+
+  /// > 0 overrides the probe delay (ms). Setting it below the freshness
+  /// window disables the delayed-sampling defense: a withholding
+  /// adversary can wait for the probe and release monitored packets
+  /// still-fresh, evading detection (bench_ablation demonstrates this).
+  double unsafe_probe_delay_ms = 0.0;
+
+  /// PAAI-1 with *independent* per-node acks instead of onion reports.
+  /// An upstream adversary can then drop acks from selected downstream
+  /// origins and frame an honest link — the attack that motivates onion
+  /// reports in §5.
+  bool paai1_independent_acks = false;
+};
+
+class ProtocolContext {
+ public:
+  ProtocolContext(const crypto::CryptoProvider& crypto,
+                  const crypto::KeyStore& keys, const sim::PathNetwork& net,
+                  const ProtocolParams& params);
+
+  const crypto::CryptoProvider& crypto() const { return *crypto_; }
+  const crypto::KeyStore& keys() const { return *keys_; }
+  const ProtocolParams& params() const { return params_; }
+
+  std::size_t d() const { return d_; }
+
+  /// RTT bound r_i between node F_i and the destination.
+  sim::SimDuration rtt(std::size_t i) const { return rtt_[i]; }
+  sim::SimDuration r0() const { return rtt_[0]; }
+
+  /// Maximum acceptable data-packet age at any node.
+  sim::SimDuration freshness_window() const { return freshness_window_; }
+
+  /// Delay between sending a data packet and its probe (PAAI-1/Comb-1).
+  sim::SimDuration probe_delay() const { return probe_delay_; }
+
+  /// How long a relay keeps state for an unprobed packet: until no probe
+  /// can possibly still arrive for it.
+  sim::SimDuration unprobed_state_horizon() const {
+    return probe_delay_ + freshness_window_;
+  }
+
+  /// Grace period added to response timers (processing jitter allowance).
+  sim::SimDuration timer_slack() const { return timer_slack_; }
+
+  /// Keys K_1..K_d indexed by node (index 0 unused) — the layout
+  /// onion_verify() and selected_node() expect.
+  const std::vector<crypto::Key>& key_vector() const { return key_vec_; }
+
+ private:
+  const crypto::CryptoProvider* crypto_;
+  const crypto::KeyStore* keys_;
+  ProtocolParams params_;
+  std::size_t d_;
+  std::vector<sim::SimDuration> rtt_;
+  sim::SimDuration freshness_window_;
+  sim::SimDuration probe_delay_;
+  sim::SimDuration timer_slack_;
+  std::vector<crypto::Key> key_vec_;
+};
+
+}  // namespace paai::protocols

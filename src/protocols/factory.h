@@ -1,0 +1,26 @@
+// Protocol installation: builds the per-node agents for one protocol on
+// one PathNetwork and wires in adversary strategies.
+//
+// This is the main entry point of the library: given a path, keys, and a
+// protocol choice, it attaches a source agent to F_0, relay agents to
+// F_1..F_{d-1} (optionally compromised), and a destination agent to F_d,
+// and returns the SourceHandle used to drive identification.
+#pragma once
+
+#include <vector>
+
+#include "adversary/strategy.h"
+#include "protocols/context.h"
+#include "protocols/source_handle.h"
+#include "sim/network.h"
+
+namespace paai::protocols {
+
+/// `strategies[i]` (if non-null) compromises node F_i; entries for indices
+/// 0 and d are ignored — the paper assumes S and D honest. The vector may
+/// be shorter than d+1. Strategy objects must outlive the network.
+SourceHandle* install_protocol(
+    ProtocolKind kind, const ProtocolContext& ctx, sim::PathNetwork& net,
+    const std::vector<adversary::Strategy*>& strategies = {});
+
+}  // namespace paai::protocols

@@ -1,0 +1,128 @@
+// PAAI-1 (§6.1): probabilistic sampling of *which data packets* to probe.
+//
+// Phase 1 — the source sends m = <data || timestamp>; each node checks
+//   freshness, stores H(m), and forwards. The source's secure-sampling
+//   algorithm (a PRF keyed with a source-private key) marks m for probing
+//   with probability p; nothing on the wire reveals the decision.
+// Phase 2 — for a sampled packet, the source sends the probe c = H(m)
+//   after a delay that *exceeds* the freshness window, so a node cannot
+//   withhold m until it learns whether m is monitored (§5).
+// Phase 3 — nodes holding H(m) return an onion report; a node whose
+//   downstream stayed silent past its wait-timer originates the report.
+// Phase 4/5 — the source verifies the onion, blames the link after the
+//   last valid layer, and convicts links whose estimated drop rate
+//   exceeds the threshold.
+//
+// Wait-timer nesting: node F_i waits r_i + slack. Because the r_i bounds
+// differ by two hop latencies plus a per-hop allowance, a downstream
+// node's timed-out report always arrives before its upstream neighbour's
+// own timer fires — honest nodes never race each other into
+// mislocalization (asserted by tests/paai1_test.cc).
+#pragma once
+
+#include "crypto/sampler.h"
+#include "net/onion.h"
+#include "net/packet.h"
+#include "protocols/context.h"
+#include "protocols/pending.h"
+#include "protocols/relay_base.h"
+#include "protocols/score.h"
+#include "protocols/source_handle.h"
+#include "sim/node.h"
+
+namespace paai::protocols {
+
+class Paai1Source final : public sim::Agent, public SourceHandle {
+ public:
+  explicit Paai1Source(const ProtocolContext& ctx);
+
+  void start() override;
+  void on_packet(const sim::PacketEnv& env) override;
+
+  std::uint64_t packets_sent() const override { return sent_; }
+  std::uint64_t observations() const override { return score_.observations(); }
+  std::vector<double> thetas() const override { return score_.thetas(); }
+  std::vector<std::size_t> convicted(double threshold) const override {
+    return score_.convicted(threshold);
+  }
+  double observed_e2e_rate() const override;
+
+ private:
+  struct Pending {
+    // Independent-ack ablation mode only: bit i records a verified ack
+    // from node F_i.
+    std::uint32_t ack_bits = 0;
+  };
+
+  void send_next();
+  void send_probe(const net::PacketId& id);
+  void on_resolution_timeout(const net::PacketId& id);
+  void handle_report(const net::ReportAck& ack);
+  void handle_independent_report(const net::ReportAck& ack);
+  void resolve_independent(const net::PacketId& id, const Pending& pending);
+
+  const ProtocolContext& ctx_;
+  crypto::SecureSampler sampler_;
+  ScoreTable score_;
+  PendingStore<Pending> pending_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t probed_ = 0;
+  std::uint64_t delivered_ = 0;  // probes whose onion originated at D
+  sim::SimDuration send_period_;
+};
+
+class Paai1Relay final : public RelayBase {
+ public:
+  explicit Paai1Relay(const ProtocolContext& ctx)
+      : RelayBase(ctx), pending_(nullptr) {}
+
+  void start() override;
+  void on_packet(const sim::PacketEnv& env) override;
+
+ private:
+  struct RState {
+    bool probe_seen = false;
+    bool responded = false;
+  };
+
+  void on_wait_timeout(const net::PacketId& id);
+
+  PendingStore<RState> pending_;
+};
+
+class Paai1Destination final : public sim::Agent {
+ public:
+  explicit Paai1Destination(const ProtocolContext& ctx)
+      : ctx_(ctx), pending_(nullptr) {}
+
+  void start() override;
+  void on_packet(const sim::PacketEnv& env) override;
+
+ private:
+  struct DState {};
+
+  const ProtocolContext& ctx_;
+  PendingStore<DState> pending_;
+};
+
+/// The PAAI-1 local report R_i = <i || H(m)> (uniform for relays and D).
+Bytes paai1_local_report(std::size_t index, const net::PacketId& id);
+
+/// Checks a received layer's report against R_i = <i || H(m)>.
+bool paai1_report_ok(std::uint8_t index, ByteView report,
+                     const net::PacketId& id);
+
+/// Independent-ack ablation mode: a free-standing per-node ack
+/// <i || [i || H(m)]_{K_i}> (no onion nesting).
+Bytes paai1_independent_report(const crypto::CryptoProvider& crypto,
+                               const crypto::Key& key, std::size_t index,
+                               const net::PacketId& id);
+
+/// Footnote-7 probe authentication: builds the MAC chain the source
+/// attaches (tag i = [i || H(m) || Z]_{K_i} at offset (i-1)*8) and the
+/// check each node applies before acting on a probe.
+Bytes build_probe_auth(const ProtocolContext& ctx, const net::Probe& probe);
+bool verify_probe_auth(const ProtocolContext& ctx, const net::Probe& probe,
+                       std::size_t index);
+
+}  // namespace paai::protocols

@@ -1,0 +1,385 @@
+#include "protocols/paai2.h"
+
+#include <cstring>
+
+#include "util/wire.h"
+
+namespace paai::protocols {
+
+namespace {
+
+std::shared_ptr<const Bytes> shared_wire(Bytes b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
+
+crypto::Mac dest_ack_tag(const ProtocolContext& ctx, const net::PacketId& id) {
+  return ctx.crypto().mac(ctx.keys().node_key(ctx.d()),
+                          ByteView(id.data(), id.size()));
+}
+
+/// How long a node must keep state: until a probe (sent after the
+/// source's ack timeout) can no longer arrive, plus response time.
+sim::SimDuration state_horizon(const ProtocolContext& ctx,
+                               std::size_t node_index) {
+  // A probe (sent after the source's ack timeout, <= r_0 + slack) reaches
+  // F_i a fixed interval after the data did; the node then needs r_i for
+  // the downstream response. Deeper nodes therefore hold state slightly
+  // shorter — the position slope of Figure 3(c).
+  return ctx.r0() + ctx.rtt(node_index) + 3 * ctx.timer_slack();
+}
+
+}  // namespace
+
+crypto::Mac paai2_report_tag(const crypto::CryptoProvider& crypto,
+                             const crypto::Key& key, std::size_t index,
+                             ByteView probe_bytes) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(index));
+  w.var_bytes(probe_bytes);
+  const Bytes& buf = w.data();
+  return crypto.mac(key, ByteView(buf.data(), buf.size()));
+}
+
+Bytes paai2_report_plaintext(const crypto::CryptoProvider& crypto,
+                             const crypto::Key& key, std::size_t index,
+                             ByteView probe_bytes,
+                             const crypto::Mac* ad_tag) {
+  const crypto::Mac tag = paai2_report_tag(crypto, key, index, probe_bytes);
+  WireWriter w;
+  w.raw(ByteView(tag.data(), tag.size()));
+  if (ad_tag != nullptr) {
+    w.u8(1);
+    w.raw(ByteView(ad_tag->data(), ad_tag->size()));
+  } else {
+    w.u8(0);  // bottom: the node never saw the destination's ack
+    const crypto::Mac zero{};
+    w.raw(ByteView(zero.data(), zero.size()));
+  }
+  return std::move(w).take();
+}
+
+std::uint64_t paai2_layer_nonce(const net::PacketId& id, std::size_t index) {
+  std::uint64_t base;
+  std::memcpy(&base, id.data(), sizeof(base));
+  return base ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1));
+}
+
+// ---------------------------------------------------------------- source
+
+Paai2Source::Paai2Source(const ProtocolContext& ctx, bool sampled_mode)
+    : ctx_(ctx),
+      sampled_mode_(sampled_mode),
+      monitor_sampler_(ctx.crypto(), ctx.keys().destination_key(),
+                       ctx.params().probe_probability),
+      score_(ctx.d()),
+      pending_(nullptr),
+      send_period_(static_cast<sim::SimDuration>(
+          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
+
+void Paai2Source::start() {
+  pending_.set_meter(&node().storage());
+  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2);
+  node().sim().after(send_period_, [this] { send_next(); });
+}
+
+void Paai2Source::send_next() {
+  if (sent_ >= ctx_.params().total_packets) return;
+
+  net::DataPacket pkt;
+  pkt.seq = sent_;
+  pkt.timestamp_ns = static_cast<std::uint64_t>(node().local_now());
+  pkt.payload_size = ctx_.params().payload_size;
+  const net::PacketId id = pkt.id(ctx_.crypto());
+
+  // Combination 2: only a K_d-keyed sampled fraction is monitored; for the
+  // rest the packet goes out and the protocol stays silent.
+  const bool monitored =
+      !sampled_mode_ || monitor_sampler_.sampled(ByteView(id.data(), id.size()));
+
+  if (monitored) {
+    pending_.purge(node().sim().now());
+    pending_.put(id, Pending{},
+                 node().sim().now() + 3 * ctx_.r0() + 8 * ctx_.timer_slack());
+  }
+  node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
+                   pkt.wire_size());
+  ++sent_;
+
+  if (monitored) {
+    score_.add_data_packet();
+    node().sim().after(ctx_.r0() + ctx_.timer_slack(),
+                       [this, id] { on_ack_timeout(id); });
+  }
+  if (sent_ < ctx_.params().total_packets) {
+    node().sim().after(send_period_, [this] { send_next(); });
+  }
+}
+
+void Paai2Source::on_ack_timeout(const net::PacketId& id) {
+  Pending* p = pending_.find(id);
+  if (p == nullptr || p->probed) return;
+  p->probed = true;
+
+  // Fresh unpredictable challenge Z (PRF over id and a counter under the
+  // source-private key).
+  WireWriter zi;
+  zi.raw(ByteView(id.data(), id.size()));
+  zi.u64(challenge_counter_++);
+  const std::uint64_t z = ctx_.crypto().prf(
+      ctx_.keys().source_sampling_key(), ByteView(zi.data().data(),
+                                                  zi.data().size()));
+
+  net::Probe probe;
+  probe.data_id = id;
+  probe.challenge = z;
+  p->probe_bytes = probe.encode();
+
+  // The source can evaluate every node's predicate itself: it knows which
+  // node is selected even though no node (or observer) does.
+  p->selected = crypto::selected_node(
+      ctx_.crypto(), ctx_.key_vector(),
+      ByteView(p->probe_bytes.data(), p->probe_bytes.size()), ctx_.d());
+
+  node().originate(sim::Direction::kToDest,
+                   shared_wire(Bytes(p->probe_bytes)), probe.wire_size());
+  node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
+                     [this, id] { on_probe_timeout(id); });
+}
+
+void Paai2Source::on_probe_timeout(const net::PacketId& id) {
+  Pending* p = pending_.find(id);
+  if (p == nullptr) return;
+  score_.add_probe(p->selected, /*prefix_failed=*/true);
+  pending_.erase(id);
+}
+
+void Paai2Source::on_packet(const sim::PacketEnv& env) {
+  const auto type = net::peek_type(env.view());
+  if (!type) return;
+  if (*type == net::PacketType::kDestAck) {
+    if (const auto ack = net::DestAck::decode(env.view())) {
+      handle_dest_ack(*ack);
+    }
+  } else if (*type == net::PacketType::kReportAck) {
+    if (const auto ack = net::ReportAck::decode(env.view())) {
+      handle_report(*ack);
+    }
+  }
+}
+
+void Paai2Source::handle_dest_ack(const net::DestAck& ack) {
+  Pending* p = pending_.find(ack.data_id);
+  if (p == nullptr || p->probed) return;
+  const crypto::Mac expected = dest_ack_tag(ctx_, ack.data_id);
+  if (!ct_equal(ByteView(expected.data(), expected.size()),
+                ByteView(ack.tag.data(), ack.tag.size()))) {
+    return;
+  }
+  pending_.erase(ack.data_id);  // clean round: no probe, no scoring
+}
+
+void Paai2Source::handle_report(const net::ReportAck& ack) {
+  Pending* p = pending_.find(ack.data_id);
+  if (p == nullptr || !p->probed) return;
+  if (ack.report.size() != kPaai2ReportSize) return;  // malformed: wait
+
+  // Peel E_{K_1} .. E_{K_e}.
+  Bytes cur = ack.report;
+  for (std::size_t j = 1; j <= p->selected; ++j) {
+    cur = ctx_.crypto().decrypt(ctx_.keys().node_key(j),
+                                paai2_layer_nonce(ack.data_id, j),
+                                ByteView(cur.data(), cur.size()));
+  }
+
+  // Scoring depends only on the authenticator part: a match proves the
+  // selected node received the data packet and the probe, i.e. no drop in
+  // [l_0, l_{e-1}].
+  const crypto::Key& ke = ctx_.keys().node_key(p->selected);
+  const crypto::Mac expected = paai2_report_tag(
+      ctx_.crypto(), ke, p->selected,
+      ByteView(p->probe_bytes.data(), p->probe_bytes.size()));
+  const bool match = ct_equal(ByteView(expected.data(), expected.size()),
+                              ByteView(cur.data(), crypto::kMacSize));
+
+  // The a_d field is auxiliary delivery evidence, verified independently
+  // against [H(m)]_{K_d} (an unauthenticated copy a node stored could have
+  // been corrupted in flight — that must not poison the prefix score).
+  if (match && cur[crypto::kMacSize] == 1) {
+    const crypto::Mac ad = dest_ack_tag(ctx_, ack.data_id);
+    if (ct_equal(ByteView(ad.data(), ad.size()),
+                 ByteView(cur.data() + crypto::kMacSize + 1,
+                          crypto::kMacSize))) {
+      ++confirmed_deliveries_;
+    }
+  }
+
+  score_.add_probe(p->selected, /*prefix_failed=*/!match);
+  pending_.erase(ack.data_id);
+}
+
+// ----------------------------------------------------------------- relay
+
+void Paai2Relay::start() { pending_.set_meter(&node().storage());
+  pending_.enable_auto_purge(&node().sim(), ctx().r0() / 2); }
+
+void Paai2Relay::on_packet(const sim::PacketEnv& env) {
+  pending_.purge(node().sim().now());
+  const auto type = net::peek_type(env.view());
+  if (!type) return;
+
+  switch (*type) {
+    case net::PacketType::kData: {
+      const auto pkt = net::DataPacket::decode(env.view());
+      if (!pkt || !fresh(*pkt)) return;
+      pending_.put(pkt->id(ctx().crypto()), RState{},
+                   node().sim().now() + state_horizon(ctx(), node().index()));
+      relay(env);
+      break;
+    }
+    case net::PacketType::kDestAck: {
+      const auto ack = net::DestAck::decode(env.view());
+      if (!ack) return;
+      RState* st = pending_.find(ack->data_id);
+      if (st == nullptr) return;
+      // Keep a copy of a_d (§6.2 phase 1) — it rides along in our report.
+      // State is never released on ack sight (even in Combination 2, whose
+      // §10 description suggests it): relays cannot authenticate a_d, so
+      // corrupted acks could otherwise flush honest state and break
+      // localization. See DESIGN.md §"findings".
+      st->have_ad = true;
+      st->ad_tag = ack->tag;
+      relay(env);
+      break;
+    }
+    case net::PacketType::kProbe: {
+      const auto probe = net::Probe::decode(env.view());
+      if (!probe) return;
+      RState* st = pending_.find(probe->data_id);
+      if (st == nullptr) {
+        relay(env);  // stateless: pass along, contribute nothing
+        return;
+      }
+      st->probe_seen = true;
+      st->probe_bytes.assign(env.wire->begin(), env.wire->end());
+      st->sampled = crypto::selection_predicate(
+          ctx().crypto(), ctx().keys().node_key(node().index()),
+          ByteView(st->probe_bytes.data(), st->probe_bytes.size()),
+          node().index(), ctx().d());
+      const auto wait = ctx().rtt(node().index()) + ctx().timer_slack();
+      pending_.extend(probe->data_id,
+                      node().sim().now() + wait + 2 * ctx().timer_slack());
+      relay(env);
+      const net::PacketId id = probe->data_id;
+      node().sim().after(wait, [this, id] { on_wait_timeout(id); });
+      break;
+    }
+    case net::PacketType::kReportAck: {
+      const auto ack = net::ReportAck::decode(env.view());
+      if (!ack) return;
+      RState* st = pending_.find(ack->data_id);
+      if (st == nullptr || !st->probe_seen || st->responded) return;
+      st->responded = true;
+      if (st->sampled) {
+        // Oblivious overwrite: a sampled node always substitutes its own
+        // report for whatever arrived from downstream.
+        send_own_report(ack->data_id, *st);
+      } else {
+        net::ReportAck out;
+        out.data_id = ack->data_id;
+        out.report = ctx().crypto().encrypt(
+            ctx().keys().node_key(node().index()),
+            paai2_layer_nonce(ack->data_id, node().index()),
+            ByteView(ack->report.data(), ack->report.size()));
+        relay(sim::PacketEnv{shared_wire(out.encode()), out.wire_size(),
+                             sim::Direction::kToSource});
+      }
+      pending_.erase(ack->data_id);
+      break;
+    }
+    default:
+      relay(env);
+      break;
+  }
+}
+
+void Paai2Relay::send_own_report(const net::PacketId& id, RState& st) {
+  const crypto::Key& key = ctx().keys().node_key(node().index());
+  const Bytes plaintext = paai2_report_plaintext(
+      ctx().crypto(), key, node().index(),
+      ByteView(st.probe_bytes.data(), st.probe_bytes.size()),
+      st.have_ad ? &st.ad_tag : nullptr);
+  net::ReportAck ack;
+  ack.data_id = id;
+  ack.report =
+      ctx().crypto().encrypt(key, paai2_layer_nonce(id, node().index()),
+                             ByteView(plaintext.data(), plaintext.size()));
+  relay(sim::PacketEnv{shared_wire(ack.encode()), ack.wire_size(),
+                       sim::Direction::kToSource});
+}
+
+void Paai2Relay::on_wait_timeout(const net::PacketId& id) {
+  RState* st = pending_.find(id);
+  if (st == nullptr || st->responded) return;
+  st->responded = true;
+  send_own_report(id, *st);
+  pending_.erase(id);
+}
+
+// ----------------------------------------------------------- destination
+
+Paai2Destination::Paai2Destination(const ProtocolContext& ctx,
+                                   bool ack_only_sampled)
+    : ctx_(ctx),
+      ack_only_sampled_(ack_only_sampled),
+      monitor_sampler_(ctx.crypto(), ctx.keys().destination_key(),
+                       ctx.params().probe_probability),
+      pending_(nullptr) {}
+
+void Paai2Destination::start() { pending_.set_meter(&node().storage());
+  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2); }
+
+void Paai2Destination::on_packet(const sim::PacketEnv& env) {
+  pending_.purge(node().sim().now());
+  const auto type = net::peek_type(env.view());
+  if (!type) return;
+
+  if (*type == net::PacketType::kData) {
+    const auto pkt = net::DataPacket::decode(env.view());
+    if (!pkt) return;
+    const sim::SimTime now = node().local_now();
+    const auto age = now - static_cast<sim::SimTime>(pkt->timestamp_ns);
+    if (age > ctx_.freshness_window() || age < -ctx_.freshness_window()) {
+      return;
+    }
+    const net::PacketId id = pkt->id(ctx_.crypto());
+    if (ack_only_sampled_ &&
+        !monitor_sampler_.sampled(ByteView(id.data(), id.size()))) {
+      return;  // unmonitored packet: no ack, no state, no probe will come
+    }
+    pending_.put(id, DState{}, node().sim().now() + state_horizon(ctx_, ctx_.d()));
+    net::DestAck ack;
+    ack.data_id = id;
+    ack.tag = dest_ack_tag(ctx_, id);
+    node().originate(sim::Direction::kToSource, shared_wire(ack.encode()),
+                     ack.wire_size());
+  } else if (*type == net::PacketType::kProbe) {
+    const auto probe = net::Probe::decode(env.view());
+    if (!probe || pending_.find(probe->data_id) == nullptr) return;
+    // T_d fires with probability 1: the destination is always sampled and
+    // thus originates the innermost report for every probe it can answer.
+    const crypto::Key& key = ctx_.keys().node_key(ctx_.d());
+    const crypto::Mac ad = dest_ack_tag(ctx_, probe->data_id);
+    const Bytes plaintext = paai2_report_plaintext(ctx_.crypto(), key,
+                                                   ctx_.d(), env.view(), &ad);
+    net::ReportAck ack;
+    ack.data_id = probe->data_id;
+    ack.report = ctx_.crypto().encrypt(
+        key, paai2_layer_nonce(probe->data_id, ctx_.d()),
+        ByteView(plaintext.data(), plaintext.size()));
+    node().originate(sim::Direction::kToSource, shared_wire(ack.encode()),
+                     ack.wire_size());
+    pending_.erase(probe->data_id);
+  }
+}
+
+}  // namespace paai::protocols

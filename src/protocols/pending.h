@@ -1,0 +1,123 @@
+// PendingStore: per-node temporary packet state with expiry.
+//
+// Every protocol requires nodes to remember packet identifiers for a
+// bounded time ("F_i stores the identifier H(m) and starts a wait timer").
+// PendingStore keeps a hash map of live entries plus a FIFO of expiry
+// deadlines; purge() is called on every packet arrival (amortized O(1)),
+// so expired state disappears without per-entry timer events — the storage
+// meter still tracks the instantaneous entry count for Figure 3.
+//
+// Entries whose deadline was extended (e.g. a probe arrived and the node
+// now waits for a downstream ack) are re-queued rather than dropped.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/storage.h"
+#include "sim/time.h"
+
+namespace paai::protocols {
+
+struct PacketIdHash {
+  std::size_t operator()(const net::PacketId& id) const {
+    std::uint64_t v;
+    std::memcpy(&v, id.data(), sizeof(v));
+    return static_cast<std::size_t>(v);
+  }
+};
+
+template <typename State>
+class PendingStore {
+ public:
+  explicit PendingStore(sim::StorageMeter* meter = nullptr) : meter_(meter) {}
+
+  /// Agents construct before being attached to a node; they point the
+  /// store at the node's meter from start().
+  void set_meter(sim::StorageMeter* meter) { meter_ = meter; }
+
+  /// Arms a self-rescheduling purge timer (period ~ r_0/2) whenever the
+  /// store is non-empty, so expired entries vanish (and the storage meter
+  /// drains) even when no packets arrive to trigger the on-arrival purge.
+  void enable_auto_purge(sim::Simulator* sim, sim::SimDuration period) {
+    sim_ = sim;
+    purge_period_ = period;
+  }
+
+  /// Inserts (or replaces) state for `id`, expiring at `expiry`.
+  State& put(const net::PacketId& id, State state, sim::SimTime expiry) {
+    auto [it, inserted] = map_.try_emplace(id);
+    it->second.state = std::move(state);
+    it->second.expiry = expiry;
+    if (inserted && meter_ != nullptr) meter_->add();
+    fifo_.emplace_back(expiry, id);
+    arm_purge();
+    return it->second.state;
+  }
+
+  /// Returns the live state for `id`, or nullptr.
+  State* find(const net::PacketId& id) {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second.state;
+  }
+
+  /// Pushes the expiry of an existing entry out to `expiry` (never pulls
+  /// it in).
+  void extend(const net::PacketId& id, sim::SimTime expiry) {
+    auto it = map_.find(id);
+    if (it == map_.end()) return;
+    if (expiry > it->second.expiry) it->second.expiry = expiry;
+  }
+
+  void erase(const net::PacketId& id) {
+    if (map_.erase(id) > 0 && meter_ != nullptr) meter_->remove();
+  }
+
+  /// Drops every entry whose deadline has passed. Call on packet arrival.
+  void purge(sim::SimTime now) {
+    while (!fifo_.empty() && fifo_.front().first <= now) {
+      const net::PacketId id = fifo_.front().second;
+      fifo_.pop_front();
+      auto it = map_.find(id);
+      if (it == map_.end()) continue;  // already erased explicitly
+      if (it->second.expiry <= now) {
+        map_.erase(it);
+        if (meter_ != nullptr) meter_->remove();
+      } else {
+        // Deadline was extended; re-queue under the new deadline.
+        fifo_.emplace_back(it->second.expiry, id);
+      }
+    }
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    State state{};
+    sim::SimTime expiry = 0;
+  };
+
+  void arm_purge() {
+    if (sim_ == nullptr || purge_armed_) return;
+    purge_armed_ = true;
+    sim_->after(purge_period_, [this] {
+      purge_armed_ = false;
+      purge(sim_->now());
+      if (!map_.empty()) arm_purge();
+    });
+  }
+
+  std::unordered_map<net::PacketId, Entry, PacketIdHash> map_;
+  std::deque<std::pair<sim::SimTime, net::PacketId>> fifo_;
+  sim::StorageMeter* meter_;
+  sim::Simulator* sim_ = nullptr;
+  sim::SimDuration purge_period_ = 0;
+  bool purge_armed_ = false;
+};
+
+}  // namespace paai::protocols

@@ -1,0 +1,80 @@
+#include "protocols/relay_base.h"
+
+namespace paai::protocols {
+
+bool RelayBase::relay(const sim::PacketEnv& env) {
+  if (strategy_ == nullptr || !strategy_->active()) {
+    node().forward(env);
+    return true;
+  }
+
+  const auto type = net::peek_type(env.view());
+  adversary::Context actx;
+  actx.type = type.value_or(net::PacketType::kData);
+  actx.dir = env.dir;
+  actx.node_index = node().index();
+  actx.wire = env.view();
+
+  // A probe may reference a packet this node withheld earlier; give the
+  // strategy its release/drop decision before the probe itself is handled.
+  if (type == net::PacketType::kProbe) {
+    if (const auto probe = net::Probe::decode(env.view())) {
+      handle_withheld_release(env, probe->data_id);
+    }
+  }
+
+  switch (strategy_->on_packet(actx)) {
+    case adversary::Action::kForward:
+      node().forward(env);
+      return true;
+    case adversary::Action::kDrop:
+      break;
+    case adversary::Action::kCorrupt: {
+      // Forward an altered copy: flip a bit in the last header byte. For
+      // data packets this changes H(m); for reports it breaks a MAC — in
+      // all cases the source ends up treating it as a drop (§5).
+      auto tampered = std::make_shared<Bytes>(*env.wire);
+      if (!tampered->empty()) tampered->back() ^= 0x01;
+      node().forward(sim::PacketEnv{std::move(tampered), env.wire_size,
+                                    env.dir});
+      return true;
+    }
+    case adversary::Action::kWithhold: {
+      if (const auto data = net::DataPacket::decode(env.view())) {
+        withheld_[data->id(ctx_.crypto())] = env;
+      }
+      break;
+    }
+  }
+  return false;
+}
+
+void RelayBase::handle_withheld_release(const sim::PacketEnv& probe_env,
+                                        const net::PacketId& id) {
+  auto it = withheld_.find(id);
+  if (it == withheld_.end()) return;
+
+  adversary::Context pctx;
+  pctx.type = net::PacketType::kProbe;
+  pctx.dir = probe_env.dir;
+  pctx.node_index = node().index();
+  pctx.wire = probe_env.view();
+
+  if (strategy_->on_withheld_probe(pctx) == adversary::Action::kForward) {
+    // Release the stale packet ahead of the probe. Its timestamp is
+    // unchanged (altering it would change H(m)), so the next honest node
+    // rejects it as expired.
+    node().forward(it->second);
+  }
+  withheld_.erase(it);
+}
+
+bool RelayBase::fresh(const net::DataPacket& pkt) const {
+  const sim::SimTime now = node().local_now();
+  const auto ts = static_cast<sim::SimTime>(pkt.timestamp_ns);
+  const sim::SimDuration age = now - ts;
+  // Tolerate slightly-future timestamps (peer clock ahead of ours).
+  return age <= ctx_.freshness_window() && age >= -ctx_.freshness_window();
+}
+
+}  // namespace paai::protocols

@@ -1,0 +1,59 @@
+// RelayBase: common machinery for intermediate-node agents.
+//
+// Every protocol's relay derives from this. It provides
+//   * the adversary interposition point: protocol code calls relay()
+//     instead of Node::forward(), and a compromised node's Strategy gets to
+//     drop / corrupt / withhold the packet. Note the protocol state update
+//     happens *before* relay() is called, which yields exactly the paper's
+//     §8.1 tactic (b): a node that drops a data packet still answers later
+//     ack requests as if it had forwarded it, so its drops are charged to
+//     its downstream link;
+//   * timestamp freshness checking (§5/§6 phase 1): a data packet whose
+//     embedded timestamp is older than the freshness window is discarded,
+//     which is what defeats the withhold-until-probed attack; and
+//   * the withheld-packet buffer used when a Strategy plays that attack.
+#pragma once
+
+#include <unordered_map>
+
+#include "adversary/strategy.h"
+#include "net/packet.h"
+#include "protocols/context.h"
+#include "protocols/pending.h"
+#include "sim/node.h"
+
+namespace paai::protocols {
+
+class RelayBase : public sim::Agent {
+ public:
+  void set_strategy(adversary::Strategy* strategy) { strategy_ = strategy; }
+  adversary::Strategy* strategy() const { return strategy_; }
+
+ protected:
+  explicit RelayBase(const ProtocolContext& ctx) : ctx_(ctx) {}
+
+  const ProtocolContext& ctx() const { return ctx_; }
+
+  /// Forwards `env` in its travel direction, subject to the adversary
+  /// strategy (if any). Honest nodes always forward. Returns true iff the
+  /// packet (or a corrupted copy) actually went out — callers that release
+  /// state "because the packet passed" must check this, otherwise a
+  /// compromised node that swallowed the packet would also forget it and
+  /// shift later blame onto its honest upstream neighbour.
+  bool relay(const sim::PacketEnv& env);
+
+  /// True iff the data packet's timestamp is within the freshness window
+  /// of this node's local clock (slightly-future timestamps are tolerated
+  /// up to the clock-sync bound).
+  bool fresh(const net::DataPacket& pkt) const;
+
+ private:
+  void handle_withheld_release(const sim::PacketEnv& probe_env,
+                               const net::PacketId& id);
+
+  const ProtocolContext& ctx_;
+  adversary::Strategy* strategy_ = nullptr;
+  std::unordered_map<net::PacketId, sim::PacketEnv, PacketIdHash> withheld_;
+};
+
+}  // namespace paai::protocols

@@ -1,0 +1,163 @@
+#include "protocols/score.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paai::protocols {
+
+ScoreTable::ScoreTable(std::size_t num_links, double traversals,
+                       double probe_extra)
+    : s_(num_links, 0), traversals_(traversals), probe_extra_(probe_extra) {
+  if (num_links == 0 || traversals <= 0.0 || probe_extra < 0.0) {
+    throw std::invalid_argument("ScoreTable: bad construction parameters");
+  }
+}
+
+double ScoreTable::effective_traversals() const {
+  if (n_ == 0 || probe_extra_ == 0.0) return traversals_;
+  return traversals_ + probe_extra_ * static_cast<double>(probes_) /
+                           static_cast<double>(n_);
+}
+
+void ScoreTable::add_clean() { ++n_; }
+
+void ScoreTable::blame(std::size_t link) {
+  ++n_;
+  if (link >= s_.size()) {
+    throw std::out_of_range("ScoreTable::blame: link index out of range");
+  }
+  ++s_[link];
+}
+
+double ScoreTable::theta(std::size_t link) const {
+  if (n_ == 0) return 0.0;
+  const double blame_rate =
+      static_cast<double>(s_[link]) / static_cast<double>(n_);
+  // Invert 1 - (1-theta)^t = blame_rate.
+  return 1.0 - std::pow(1.0 - std::min(blame_rate, 1.0),
+                        1.0 / effective_traversals());
+}
+
+std::vector<double> ScoreTable::thetas() const {
+  std::vector<double> out(s_.size());
+  for (std::size_t i = 0; i < s_.size(); ++i) out[i] = theta(i);
+  return out;
+}
+
+std::vector<std::size_t> ScoreTable::convicted(double threshold) const {
+  // Conviction requires the estimate to clear the threshold by one
+  // standard error — the operational form of the paper's "converged
+  // condition" (§7: the observed rate approaches its true value within a
+  // small uncertainty interval before decisions are made). Without the
+  // margin, early small-sample noise convicts honest links.
+  std::vector<std::size_t> out;
+  if (n_ == 0) return out;
+  const double n = static_cast<double>(n_);
+  for (std::size_t i = 0; i < s_.size(); ++i) {
+    const double b = static_cast<double>(s_[i]) / n;
+    const double sd_b = std::sqrt(std::max(b, 1.0 / n) * (1.0 - b) / n);
+    const double sd_theta = sd_b / effective_traversals();
+    if (theta(i) - sd_theta > threshold) out.push_back(i);
+  }
+  return out;
+}
+
+void ScoreTable::reset() {
+  std::fill(s_.begin(), s_.end(), 0ULL);
+  n_ = 0;
+  probes_ = 0;
+}
+
+Paai2ScoreTable::Paai2ScoreTable(std::size_t num_links)
+    : s_(num_links, 0), sel_n_(num_links + 1, 0), sel_f_(num_links + 1, 0) {
+  if (num_links == 0) {
+    throw std::invalid_argument("Paai2ScoreTable: need at least one link");
+  }
+}
+
+void Paai2ScoreTable::add_data_packet() { ++data_packets_; }
+
+void Paai2ScoreTable::add_probe(std::size_t selected, bool prefix_failed) {
+  if (selected < 1 || selected > s_.size()) {
+    throw std::out_of_range("Paai2ScoreTable::add_probe: bad selection");
+  }
+  ++probes_;
+  ++sel_n_[selected];
+  if (prefix_failed) {
+    ++sel_f_[selected];
+    // The paper's scoring rule: +1 to every link in [l_0, l_{e-1}].
+    for (std::size_t j = 0; j < selected; ++j) ++s_[j];
+  }
+}
+
+double Paai2ScoreTable::observed_e2e_rate() const {
+  if (data_packets_ == 0) return 0.0;
+  return static_cast<double>(probes_) / static_cast<double>(data_packets_);
+}
+
+std::vector<double> Paai2ScoreTable::thetas() const {
+  const std::size_t d = s_.size();
+  std::vector<double> out(d, 0.0);
+  if (data_packets_ == 0) return out;
+  const double psi = observed_e2e_rate();
+
+  // Unconditional prefix-failure probabilities q_e; carry forward when a
+  // selection index has no observations yet.
+  std::vector<double> q(d + 1, 0.0);
+  for (std::size_t e = 1; e <= d; ++e) {
+    if (sel_n_[e] == 0) {
+      q[e] = q[e - 1];
+      continue;
+    }
+    const double cond_fail = static_cast<double>(sel_f_[e]) /
+                             static_cast<double>(sel_n_[e]);
+    q[e] = std::max(q[e - 1], psi * cond_fail);
+  }
+
+  // Per-link cycle rate from adjacent prefix differences, then down to a
+  // per-traversal rate. The data packet always crosses a prefix link, but
+  // the probe and the report only exist when a probe fired (probability
+  // psi), so one monitored cycle exposes a prefix link to ~(1 + 2 psi)
+  // traversals.
+  const double traversals = 1.0 + 2.0 * psi;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double denom = 1.0 - q[j];
+    const double g = denom > 0.0 ? (q[j + 1] - q[j]) / denom : 0.0;
+    out[j] = 1.0 - std::pow(1.0 - std::clamp(g, 0.0, 1.0), 1.0 / traversals);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Paai2ScoreTable::convicted(double threshold) const {
+  // Same two-standard-error evidence rule as ScoreTable. The per-link
+  // estimate comes from the difference of two prefix-failure estimates,
+  // each a proportion over the probes whose selection hit that index, so
+  // the standard error combines both selection bins (scaled by psi, since
+  // q_e = psi * conditional failure rate).
+  const std::vector<double> th = thetas();
+  const double psi = observed_e2e_rate();
+  const double traversals = 1.0 + 2.0 * psi;
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < th.size(); ++j) {
+    const double n_hi = static_cast<double>(sel_n_[j + 1]);
+    if (n_hi < 1.0) continue;
+    // q_0 is exactly zero; q_j for j >= 1 carries its own bin's noise.
+    const double inv_lo =
+        j == 0 ? 0.0 : 1.0 / std::max(1.0, static_cast<double>(sel_n_[j]));
+    const double sd_q = psi * 0.5 * std::sqrt(inv_lo + 1.0 / n_hi);
+    const double margin = sd_q / traversals;
+    if (th[j] - margin > threshold) out.push_back(j);
+  }
+  return out;
+}
+
+void Paai2ScoreTable::reset() {
+  std::fill(s_.begin(), s_.end(), 0ULL);
+  std::fill(sel_n_.begin(), sel_n_.end(), 0ULL);
+  std::fill(sel_f_.begin(), sel_f_.end(), 0ULL);
+  data_packets_ = 0;
+  probes_ = 0;
+}
+
+}  // namespace paai::protocols

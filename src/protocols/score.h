@@ -1,0 +1,117 @@
+// Scoring and identification (§5 "score"/"identify" phases, §6.1 phases
+// 4-5, §6.2 phases 4-5).
+//
+// ScoreTable — used by the onion-report protocols (full-ack, PAAI-1,
+// Combination 1, statistical FL). Each monitored unit (packet, probe, or
+// sampled interval slot) yields either "no blame" or "blame link l_i"; the
+// per-link drop score s_i over n observations estimates the link's drop
+// rate. Because a blame on l_i can stem from any of the (up to) t
+// traversals that crossed it during one monitored unit (data + acks +
+// probes), the per-traversal rate is recovered as
+//     theta_i = 1 - (1 - s_i/n)^(1/t).
+// The identify phase convicts l_i when theta_i exceeds the decision
+// threshold — set between the natural rate rho and the per-link threshold
+// alpha (we use the midpoint, giving the symmetric eps-margins Theorem 2's
+// Hoeffding analysis assumes).
+//
+// Paai2ScoreTable — PAAI-2's interval scoring. On a failed probe with
+// selected node F_e, every link of the prefix [l_0, l_{e-1}] gains one
+// point (the paper's rule). The source also knows e for every probe (it
+// computes the selection predicates itself), so the same information is
+// kept as per-selection counters from which per-link rates are estimated:
+//     q_e      = P[prefix-e failure]           (from failures when sel == e)
+//     g_j      = (q_{j+1} - q_j) / (1 - q_j)   (per-link, per-"cycle")
+//     theta_j  = 1 - (1 - g_j)^(1/t)           (per traversal, t = 3)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paai::protocols {
+
+class ScoreTable {
+ public:
+  /// `traversals` = per-unit link exposure in the typical case (PAAI-1:
+  /// data + probe + onion, effectively ~2.6). `probe_extra` supports
+  /// protocols whose probe rounds are *conditional* (full-ack, Comb-1):
+  /// each round that actually probed adds this many extra traversals, so
+  /// the effective exposure is traversals + probe_extra * (probes / n).
+  /// This keeps estimates calibrated even when an adversary forces every
+  /// round into a probe (e.g. by blackholing destination acks) — a fixed
+  /// exponent would inflate honest upstream links threefold there.
+  ScoreTable(std::size_t num_links, double traversals,
+             double probe_extra = 0.0);
+
+  /// Records that the current monitored unit ran a probe round.
+  void note_probe() { ++probes_; }
+
+  /// Records one monitored unit with no localized loss.
+  void add_clean();
+
+  /// Records one monitored unit blamed on link `link`.
+  void blame(std::size_t link);
+
+  std::uint64_t observations() const { return n_; }
+  std::uint64_t score(std::size_t link) const { return s_[link]; }
+
+  /// Per-traversal drop-rate estimate for a link (0 when n == 0).
+  double theta(std::size_t link) const;
+  std::vector<double> thetas() const;
+
+  /// Links whose estimate exceeds the per-traversal decision threshold.
+  std::vector<std::size_t> convicted(double threshold) const;
+
+  std::size_t num_links() const { return s_.size(); }
+
+  void reset();
+
+ private:
+  double effective_traversals() const;
+
+  std::vector<std::uint64_t> s_;
+  std::uint64_t n_ = 0;
+  std::uint64_t probes_ = 0;
+  double traversals_;
+  double probe_extra_;
+};
+
+class Paai2ScoreTable {
+ public:
+  explicit Paai2ScoreTable(std::size_t num_links);
+
+  /// Every data packet sent (probed or not) is one trial.
+  void add_data_packet();
+
+  /// Records a probe outcome: `selected` = the selected node index e in
+  /// [1, d]; `prefix_failed` = the decoded report did not match the
+  /// expected value (or never arrived).
+  void add_probe(std::size_t selected, bool prefix_failed);
+
+  std::uint64_t data_packets() const { return data_packets_; }
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t interval_score(std::size_t link) const { return s_[link]; }
+  std::uint64_t selections(std::size_t e) const { return sel_n_[e]; }
+
+  /// Per-traversal per-link estimates via the prefix-difference estimator.
+  std::vector<double> thetas() const;
+
+  std::vector<std::size_t> convicted(double threshold) const;
+
+  /// End-to-end data-path drop rate psi observed by the source
+  /// (probes / data packets — a probe fires exactly when the destination
+  /// ack chain broke somewhere).
+  double observed_e2e_rate() const;
+
+  std::size_t num_links() const { return s_.size(); }
+
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> s_;       // the paper's interval scores
+  std::vector<std::uint64_t> sel_n_;   // probes with selection e   [1..d]
+  std::vector<std::uint64_t> sel_f_;   // ... of which prefix-failed [1..d]
+  std::uint64_t data_packets_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace paai::protocols

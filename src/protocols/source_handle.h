@@ -1,0 +1,38 @@
+// SourceHandle: the monitoring interface every protocol's source agent
+// exposes to the library user (and to the experiment runner).
+//
+// This is the public API surface of the identification machinery: how many
+// packets have been sent, the current per-link drop-rate estimates, which
+// links the identify phase convicts at a given threshold, and the observed
+// end-to-end drop rate psi.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paai::protocols {
+
+class SourceHandle {
+ public:
+  virtual ~SourceHandle() = default;
+
+  /// Data packets the source has emitted so far.
+  virtual std::uint64_t packets_sent() const = 0;
+
+  /// Monitored units with a resolved outcome (packets for full-ack,
+  /// probes for the PAAI protocols, sampled packets for statistical FL).
+  virtual std::uint64_t observations() const = 0;
+
+  /// Current per-traversal drop-rate estimate for each link l_0..l_{d-1}.
+  virtual std::vector<double> thetas() const = 0;
+
+  /// Identify phase: links whose estimate exceeds `threshold` (the
+  /// decision threshold between the natural rate rho and the per-link
+  /// drop-rate threshold alpha).
+  virtual std::vector<std::size_t> convicted(double threshold) const = 0;
+
+  /// End-to-end data drop rate psi as the source observes it.
+  virtual double observed_e2e_rate() const = 0;
+};
+
+}  // namespace paai::protocols

@@ -1,0 +1,261 @@
+#include "protocols/statfl.h"
+
+#include <cmath>
+
+#include "crypto/sampler.h"
+#include "util/wire.h"
+
+namespace paai::protocols {
+
+namespace {
+
+std::shared_ptr<const Bytes> shared_wire(Bytes b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
+
+constexpr int kMaxRequestAttempts = 4;
+
+}  // namespace
+
+bool statfl_counts(const ProtocolContext& ctx, std::size_t index,
+                   const net::PacketId& id) {
+  const crypto::Key& key = index == 0
+                               ? ctx.keys().source_sampling_key()
+                               : ctx.keys().fl_sampling_key(index);
+  const crypto::SecureSampler sampler(ctx.crypto(), key,
+                                      ctx.params().fl_sampling);
+  return sampler.sampled(ByteView(id.data(), id.size()));
+}
+
+Bytes statfl_local_report(std::size_t index, std::uint64_t interval,
+                          std::uint64_t count) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(index));
+  w.u64(interval);
+  w.u32(static_cast<std::uint32_t>(count));
+  return std::move(w).take();
+}
+
+// ---------------------------------------------------------------- source
+
+StatFlSource::StatFlSource(const ProtocolContext& ctx)
+    : ctx_(ctx),
+      acc_counts_(ctx.d() + 1, 0.0),
+      send_period_(static_cast<sim::SimDuration>(
+          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
+
+void StatFlSource::start() {
+  node().sim().after(send_period_, [this] { send_next(); });
+}
+
+void StatFlSource::send_next() {
+  if (sent_ >= ctx_.params().total_packets) return;
+
+  net::DataPacket pkt;
+  pkt.seq = sent_;
+  pkt.timestamp_ns = static_cast<std::uint64_t>(node().local_now());
+  pkt.payload_size = ctx_.params().payload_size;
+  const net::PacketId id = pkt.id(ctx_.crypto());
+  if (statfl_counts(ctx_, 0, id)) ++own_count_;
+
+  node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
+                   pkt.wire_size());
+  ++sent_;
+
+  if (sent_ % ctx_.params().fl_interval_packets == 0) {
+    // Close the interval. The request trails the interval's last data
+    // packet by a timer slack so that even with per-hop jitter it cannot
+    // overtake it — node snapshots stay race-free.
+    const std::uint64_t closing = interval_++;
+    awaiting_ = closing;
+    awaiting_active_ = true;
+    awaiting_own_count_ = own_count_;
+    own_count_ = 0;
+    node().sim().after(ctx_.timer_slack(),
+                       [this, closing] { request_report(closing, 0); });
+  }
+
+  if (sent_ < ctx_.params().total_packets) {
+    node().sim().after(send_period_, [this] { send_next(); });
+  }
+}
+
+void StatFlSource::request_report(std::uint64_t interval, int attempt) {
+  if (!awaiting_active_ || awaiting_ != interval) return;
+  if (attempt >= kMaxRequestAttempts) {
+    awaiting_active_ = false;
+    ++intervals_lost_;
+    return;
+  }
+  net::FlRequest req;
+  req.interval = interval;
+  node().originate(sim::Direction::kToDest, shared_wire(req.encode()),
+                   req.wire_size());
+  node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
+                     [this, interval, attempt] {
+                       request_report(interval, attempt + 1);
+                     });
+}
+
+void StatFlSource::on_packet(const sim::PacketEnv& env) {
+  if (net::peek_type(env.view()) != net::PacketType::kFlReport) return;
+  if (const auto report = net::FlReport::decode(env.view())) {
+    handle_report(*report);
+  }
+}
+
+void StatFlSource::handle_report(const net::FlReport& report) {
+  if (!awaiting_active_ || report.interval != awaiting_) return;
+
+  std::vector<std::uint64_t> counts(ctx_.d() + 1, 0);
+  const std::uint64_t interval = report.interval;
+  const auto result = net::onion_verify(
+      ctx_.crypto(), ctx_.key_vector(), ctx_.d(),
+      ByteView(report.report.data(), report.report.size()),
+      [&](std::uint8_t i, ByteView r) {
+        WireReader rd(r);
+        std::uint8_t idx = 0;
+        std::uint64_t iv = 0;
+        std::uint32_t count = 0;
+        if (!rd.u8(idx) || !rd.u64(iv) || !rd.u32(count) || !rd.done()) {
+          return false;
+        }
+        if (idx != i || iv != interval) return false;
+        counts[i] = count;
+        return true;
+      });
+
+  if (result.valid_layers < ctx_.d()) {
+    // Broken or truncated onion: wait for a retransmission to bring a
+    // complete one; the attempt counter bounds the wait.
+    return;
+  }
+
+  counts[0] = awaiting_own_count_;
+  for (std::size_t i = 0; i <= ctx_.d(); ++i) {
+    acc_counts_[i] += static_cast<double>(counts[i]);
+  }
+  ++intervals_reported_;
+  awaiting_active_ = false;
+}
+
+std::vector<double> StatFlSource::thetas() const {
+  std::vector<double> out(ctx_.d(), 0.0);
+  for (std::size_t j = 0; j < ctx_.d(); ++j) {
+    if (acc_counts_[j] <= 0.0) continue;
+    const double ratio = acc_counts_[j + 1] / acc_counts_[j];
+    out[j] = std::max(0.0, 1.0 - ratio);
+  }
+  return out;
+}
+
+std::vector<std::size_t> StatFlSource::convicted(double threshold) const {
+  // One-standard-error evidence rule. The per-link estimate is a ratio of
+  // two (independently sampled) counts, so Var(theta_j) ~ 2 S_{j+1} /
+  // S_j^2; the +1 keeps a total blackhole (S_{j+1} = 0) convictable.
+  const auto th = thetas();
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < th.size(); ++j) {
+    const double sj = acc_counts_[j];
+    if (sj < 1.0) continue;
+    const double sd = std::sqrt(2.0 * acc_counts_[j + 1] + 1.0) / sj;
+    if (th[j] - sd > threshold) out.push_back(j);
+  }
+  return out;
+}
+
+double StatFlSource::observed_e2e_rate() const {
+  if (acc_counts_.empty() || acc_counts_[0] <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - acc_counts_[ctx_.d()] / acc_counts_[0]);
+}
+
+// ----------------------------------------------------------------- relay
+
+void StatFlRelay::on_packet(const sim::PacketEnv& env) {
+  const auto type = net::peek_type(env.view());
+  if (!type) return;
+
+  switch (*type) {
+    case net::PacketType::kData: {
+      const auto pkt = net::DataPacket::decode(env.view());
+      if (!pkt || !fresh(*pkt)) return;
+      if (statfl_counts(ctx(), node().index(), pkt->id(ctx().crypto()))) {
+        ++count_;
+      }
+      relay(env);
+      break;
+    }
+    case net::PacketType::kFlRequest: {
+      const auto req = net::FlRequest::decode(env.view());
+      if (!req) return;
+      if (snapshot_interval_ != req->interval) {
+        // First request for this interval: snapshot and reset the counter
+        // (retransmitted requests reuse the snapshot).
+        snapshot_ = count_;
+        count_ = 0;
+        snapshot_interval_ = req->interval;
+      }
+      relay(env);
+      break;
+    }
+    case net::PacketType::kFlReport: {
+      const auto report = net::FlReport::decode(env.view());
+      if (!report || report->interval != snapshot_interval_) return;
+      const Bytes local =
+          statfl_local_report(node().index(), snapshot_interval_, snapshot_);
+      net::FlReport wrapped;
+      wrapped.interval = report->interval;
+      wrapped.report = net::onion_wrap(
+          ctx().crypto(), ctx().keys().node_key(node().index()),
+          static_cast<std::uint8_t>(node().index()),
+          ByteView(local.data(), local.size()),
+          ByteView(report->report.data(), report->report.size()));
+      relay(sim::PacketEnv{shared_wire(wrapped.encode()), wrapped.wire_size(),
+                           sim::Direction::kToSource});
+      break;
+    }
+    default:
+      relay(env);
+      break;
+  }
+}
+
+// ----------------------------------------------------------- destination
+
+void StatFlDestination::on_packet(const sim::PacketEnv& env) {
+  const auto type = net::peek_type(env.view());
+  if (!type) return;
+
+  if (*type == net::PacketType::kData) {
+    const auto pkt = net::DataPacket::decode(env.view());
+    if (!pkt) return;
+    const sim::SimTime now = node().local_now();
+    const auto age = now - static_cast<sim::SimTime>(pkt->timestamp_ns);
+    if (age > ctx_.freshness_window() || age < -ctx_.freshness_window()) {
+      return;
+    }
+    if (statfl_counts(ctx_, ctx_.d(), pkt->id(ctx_.crypto()))) ++count_;
+  } else if (*type == net::PacketType::kFlRequest) {
+    const auto req = net::FlRequest::decode(env.view());
+    if (!req) return;
+    // The destination snapshots and immediately originates the onion.
+    // Retransmitted requests re-originate from the same snapshot.
+    if (last_interval_ != req->interval) {
+      last_snapshot_ = count_;
+      count_ = 0;
+      last_interval_ = req->interval;
+    }
+    const Bytes local =
+        statfl_local_report(ctx_.d(), req->interval, last_snapshot_);
+    net::FlReport report;
+    report.interval = req->interval;
+    report.report = net::onion_originate(
+        ctx_.crypto(), ctx_.keys().node_key(ctx_.d()),
+        static_cast<std::uint8_t>(ctx_.d()),
+        ByteView(local.data(), local.size()));
+    node().originate(sim::Direction::kToSource, shared_wire(report.encode()),
+                     report.wire_size());
+  }
+}
+
+}  // namespace paai::protocols

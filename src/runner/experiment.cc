@@ -1,0 +1,185 @@
+#include "runner/experiment.h"
+
+#include <memory>
+
+#include "crypto/keystore.h"
+#include "protocols/factory.h"
+#include "sim/simulator.h"
+
+namespace paai::runner {
+
+namespace {
+
+std::unique_ptr<adversary::Strategy> make_strategy(const AdversarySpec& spec,
+                                                   Rng rng) {
+  switch (spec.kind) {
+    case AdversarySpec::Kind::kUniform:
+      return adversary::make_uniform_dropper(spec.rate, rng);
+    case AdversarySpec::Kind::kTypeRates:
+      return adversary::make_type_rate_dropper(spec.type_rates, rng);
+    case AdversarySpec::Kind::kAckOnly:
+      return adversary::make_ack_dropper(spec.rate, rng);
+    case AdversarySpec::Kind::kCorrupt:
+      return adversary::make_corrupter(spec.rate, rng);
+    case AdversarySpec::Kind::kWithholdDrop:
+      return adversary::make_withholder(spec.rate, /*release=*/false, rng);
+    case AdversarySpec::Kind::kWithholdRelease:
+      return adversary::make_withholder(spec.rate, /*release=*/true, rng);
+    case AdversarySpec::Kind::kOriginFilter:
+      return adversary::make_origin_filter_dropper(spec.min_origin);
+    case AdversarySpec::Kind::kBurst:
+      return adversary::make_burst_dropper(spec.burst, spec.burst_period,
+                                           rng);
+  }
+  return adversary::make_uniform_dropper(spec.rate, rng);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Simulator simulator;
+  sim::PathNetwork net(simulator, config.path);
+
+  const auto provider = crypto::make_crypto(config.crypto);
+  const crypto::KeyStore keys(crypto::test_master_key(config.path.seed),
+                              net.length());
+  const protocols::ProtocolContext ctx(*provider, keys, net, config.params);
+
+  // Build strategies; index them by node.
+  Rng adv_rng(config.path.seed ^ 0xadull << 48);
+  std::vector<std::unique_ptr<adversary::Strategy>> owned;
+  std::vector<adversary::Strategy*> by_node(net.length() + 1, nullptr);
+  for (const auto& spec : config.adversaries) {
+    owned.push_back(make_strategy(spec, adv_rng.fork(owned.size() + 1)));
+    if (spec.node >= 1 && spec.node < net.length()) {
+      by_node[spec.node] = owned.back().get();
+    }
+  }
+
+  // Link-level faults: compose the malicious rate with the natural loss.
+  for (const auto& fault : config.link_faults) {
+    if (fault.link < net.length()) {
+      net.link(fault.link)
+          .set_loss_rate(1.0 - (1.0 - config.path.natural_loss) *
+                                   (1.0 - fault.extra_loss));
+    }
+  }
+
+  protocols::SourceHandle* source =
+      protocols::install_protocol(config.protocol, ctx, net, by_node);
+  net.start_agents();
+
+  const auto send_period = static_cast<sim::SimDuration>(
+      static_cast<double>(sim::kSecond) / config.params.send_rate_pps);
+  const sim::SimTime settle = 4 * net.path_rtt_bound();
+  const sim::SimTime end_time =
+      static_cast<sim::SimTime>(config.params.total_packets + 1) *
+          send_period +
+      settle;
+
+  ExperimentResult result;
+
+  // Conviction snapshots: packet N has settled ~3 RTTs after it was sent.
+  for (const std::uint64_t n : config.checkpoints) {
+    const sim::SimTime t =
+        static_cast<sim::SimTime>(n) * send_period + 3 * net.path_rtt_bound();
+    simulator.at(t, [&result, source, n, &config] {
+      result.checkpoints.push_back(
+          CheckpointResult{n, source->convicted(config.decision_threshold)});
+    });
+  }
+
+  // Storage sampling across all nodes.
+  if (config.storage_sample_period > 0) {
+    result.storage.resize(net.length() + 1);
+    const auto period = config.storage_sample_period;
+    // Recursive sampling event.
+    struct Sampler {
+      sim::Simulator& simulator;
+      sim::PathNetwork& net;
+      ExperimentResult& result;
+      sim::SimDuration period;
+      sim::SimTime end;
+
+      void operator()() {
+        const double t = sim::to_seconds(simulator.now());
+        for (std::size_t i = 0; i <= net.length(); ++i) {
+          result.storage[i].add(
+              t, static_cast<double>(net.node(i).storage().current()));
+        }
+        if (simulator.now() + period <= end) {
+          simulator.after(period, *this);
+        }
+      }
+    };
+    simulator.after(period,
+                    Sampler{simulator, net, result, period, end_time});
+  }
+
+  // Adversary bypass ("w/ AAI").
+  if (config.bypass_after_packets > 0) {
+    const sim::SimTime t =
+        static_cast<sim::SimTime>(config.bypass_after_packets) * send_period;
+    simulator.at(t, [&owned, &net, &config] {
+      for (auto& s : owned) s->set_active(false);
+      for (const auto& fault : config.link_faults) {
+        if (fault.link < net.length()) {
+          net.link(fault.link).set_loss_rate(config.path.natural_loss);
+        }
+      }
+    });
+  }
+
+  simulator.run_until(end_time);
+  simulator.run();  // drain remaining settled timers
+
+  result.final_thetas = source->thetas();
+  result.final_convicted = source->convicted(config.decision_threshold);
+  result.observed_e2e_rate = source->observed_e2e_rate();
+  result.observations = source->observations();
+  result.packets_sent = source->packets_sent();
+  result.overhead_bytes_ratio = net.counters().overhead_ratio();
+  result.overhead_packets_ratio = net.counters().control_packets_per_data();
+  result.data_link_crossings =
+      net.counters().by_type(net::PacketType::kData).packets;
+  if (result.packets_sent > 0) {
+    const std::size_t last = net.length() - 1;
+    result.ground_truth_delivery =
+        static_cast<double>(net.counters().data_tx(last) -
+                            net.counters().data_drops(last)) /
+        static_cast<double>(result.packets_sent);
+  }
+  result.true_link_loss.reserve(net.length());
+  for (std::size_t i = 0; i < net.length(); ++i) {
+    result.true_link_loss.push_back(net.counters().true_link_loss(i));
+  }
+  result.events_processed = simulator.events_processed();
+  return result;
+}
+
+ExperimentConfig paper_config(protocols::ProtocolKind protocol,
+                              std::uint64_t total_packets,
+                              std::uint64_t seed) {
+  ExperimentConfig config;
+  config.protocol = protocol;
+  config.path.length = 6;
+  config.path.natural_loss = 0.01;
+  config.path.min_latency_ms = 0.0;
+  config.path.max_latency_ms = 5.0;
+  config.path.seed = seed;
+  config.params.total_packets = total_packets;
+  config.params.send_rate_pps = 100.0;
+  config.params.probe_probability = 1.0 / 36.0;
+  // The paper's adversary: node F_4 drops at 0.02 in a way that charges
+  // its downstream link, so l_4 exhibits ~alpha = 0.03 total.
+  config.link_faults.push_back(LinkFault{4, 0.02});
+  // Decision threshold between the honest estimate (~rho = 0.01) and the
+  // estimator's view of an alpha-rate link. Because a monitored round's
+  // blame goes to the *first* failing hop, a malicious link's estimate
+  // reads ~15% below its true alpha = 0.03, so the empirical midpoint sits
+  // slightly under the analytic (rho + alpha)/2.
+  config.decision_threshold = 0.018;
+  return config;
+}
+
+}  // namespace paai::runner

@@ -1,0 +1,55 @@
+#include "runner/fleet.h"
+
+#include <algorithm>
+
+namespace paai::runner {
+
+FleetResult run_fleet(const FleetConfig& config) {
+  FleetResult result;
+
+  // Clean baseline: same template, no faults.
+  {
+    ExperimentConfig clean = config.base;
+    clean.link_faults.clear();
+    clean.adversaries.clear();
+    clean.path.seed = config.seed0;
+    result.baseline_delivery = run_experiment(clean).ground_truth_delivery;
+  }
+
+  for (std::size_t i = 0; i < config.paths.size(); ++i) {
+    ExperimentConfig cfg = config.base;
+    cfg.link_faults = config.paths[i];
+    cfg.path.seed = config.seed0 + 1 + i;
+    const ExperimentResult run = run_experiment(cfg);
+
+    FleetResult::PathOutcome outcome;
+    outcome.ground_truth_delivery = run.ground_truth_delivery;
+    outcome.observed_e2e_rate = run.observed_e2e_rate;
+    outcome.convicted = run.final_convicted;
+    for (const auto& fault : config.paths[i]) {
+      outcome.malicious.push_back(fault.link);
+    }
+    std::sort(outcome.malicious.begin(), outcome.malicious.end());
+
+    outcome.all_malicious_convicted = true;
+    for (const std::size_t link : outcome.malicious) {
+      if (std::find(outcome.convicted.begin(), outcome.convicted.end(),
+                    link) == outcome.convicted.end()) {
+        outcome.all_malicious_convicted = false;
+      }
+    }
+    for (const std::size_t link : outcome.convicted) {
+      if (std::find(outcome.malicious.begin(), outcome.malicious.end(),
+                    link) == outcome.malicious.end()) {
+        outcome.any_honest_convicted = true;
+      }
+    }
+
+    result.total_damage +=
+        std::max(0.0, result.baseline_delivery - outcome.ground_truth_delivery);
+    result.paths.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace paai::runner

@@ -1,0 +1,49 @@
+// Fleet experiments: many monitored paths at once.
+//
+// Corollary 2 reasons about an adversary with a fixed budget of z
+// compromised links spread across the *network*: concentrating them on one
+// path caps the damage (drops compound multiplicatively and the path gets
+// convicted just as fast), while spreading one link per path inflicts
+// ~z * alpha total undetected loss. A FleetExperiment runs one protocol
+// instance per path (paths are link-disjoint, so independent simulations
+// compose exactly) and aggregates ground-truth damage and detection
+// outcomes.
+#pragma once
+
+#include <vector>
+
+#include "runner/experiment.h"
+
+namespace paai::runner {
+
+struct FleetConfig {
+  /// Template for every path (protocol, length, rates, budget...). The
+  /// per-path `link_faults` below replace the template's.
+  ExperimentConfig base;
+  /// One entry per path: the malicious links planted on it (may be empty).
+  std::vector<std::vector<LinkFault>> paths;
+  std::uint64_t seed0 = 9000;
+};
+
+struct FleetResult {
+  struct PathOutcome {
+    double ground_truth_delivery = 0.0;
+    double observed_e2e_rate = 0.0;
+    std::vector<std::size_t> convicted;
+    std::vector<std::size_t> malicious;  // planted links (ground truth)
+    bool all_malicious_convicted = false;
+    bool any_honest_convicted = false;
+  };
+
+  std::vector<PathOutcome> paths;
+
+  /// Sum over paths of (clean-baseline delivery - path delivery): the
+  /// total damage the adversary inflicted, in units of "paths' worth of
+  /// delivered traffic".
+  double total_damage = 0.0;
+  double baseline_delivery = 0.0;  // measured on a fault-free path
+};
+
+FleetResult run_fleet(const FleetConfig& config);
+
+}  // namespace paai::runner

@@ -1,0 +1,135 @@
+#include "runner/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paai::runner {
+
+std::vector<std::uint64_t> log_checkpoints(std::uint64_t lo, std::uint64_t hi,
+                                           std::size_t count) {
+  std::vector<std::uint64_t> out;
+  if (lo == 0) lo = 1;
+  if (hi < lo) hi = lo;
+  const double l0 = std::log(static_cast<double>(lo));
+  const double l1 = std::log(static_cast<double>(hi));
+  for (std::size_t i = 0; i < count; ++i) {
+    const double f =
+        count == 1 ? 1.0
+                   : static_cast<double>(i) / static_cast<double>(count - 1);
+    out.push_back(static_cast<std::uint64_t>(
+        std::llround(std::exp(l0 + (l1 - l0) * f))));
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+/// Classifies one run's checkpoint conviction sets against ground truth.
+struct RunOutcome {
+  std::vector<bool> fp;  // per checkpoint
+  std::vector<bool> fn;
+};
+
+RunOutcome classify(const ExperimentResult& result,
+                    const std::vector<std::size_t>& malicious) {
+  RunOutcome out;
+  out.fp.reserve(result.checkpoints.size());
+  out.fn.reserve(result.checkpoints.size());
+  for (const auto& cp : result.checkpoints) {
+    bool any_fp = false;
+    for (const std::size_t link : cp.convicted) {
+      if (std::find(malicious.begin(), malicious.end(), link) ==
+          malicious.end()) {
+        any_fp = true;
+        break;
+      }
+    }
+    bool any_fn = false;
+    for (const std::size_t link : malicious) {
+      if (std::find(cp.convicted.begin(), cp.convicted.end(), link) ==
+          cp.convicted.end()) {
+        any_fn = true;
+        break;
+      }
+    }
+    out.fp.push_back(any_fp);
+    out.fn.push_back(any_fn);
+  }
+  return out;
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
+  MonteCarloResult result;
+  result.runs = config.runs;
+
+  const std::size_t num_cps = config.base.checkpoints.size();
+  std::vector<std::uint64_t> fp_count(num_cps, 0);
+  std::vector<std::uint64_t> fn_count(num_cps, 0);
+
+  const std::size_t d = config.base.path.length;
+  result.final_thetas.resize(d);
+  if (config.storage_bins > 0) {
+    for (std::size_t i = 0; i <= d; ++i) {
+      result.storage_grids.emplace_back(config.storage_horizon_seconds,
+                                        config.storage_bins);
+    }
+  }
+
+  for (std::size_t r = 0; r < config.runs; ++r) {
+    ExperimentConfig cfg = config.base;
+    cfg.path.seed = config.seed0 + r;
+    const ExperimentResult run = run_experiment(cfg);
+    result.total_events += run.events_processed;
+
+    const RunOutcome outcome = classify(run, config.malicious_links);
+    for (std::size_t i = 0; i < num_cps && i < outcome.fp.size(); ++i) {
+      if (outcome.fp[i]) ++fp_count[i];
+      if (outcome.fn[i]) ++fn_count[i];
+    }
+
+    // Per-run detection point: the first checkpoint that is correct and
+    // stays correct through the end of the run.
+    std::size_t first_stable = outcome.fp.size();
+    for (std::size_t i = outcome.fp.size(); i-- > 0;) {
+      if (outcome.fp[i] || outcome.fn[i]) break;
+      first_stable = i;
+    }
+    if (first_stable < run.checkpoints.size()) {
+      result.per_run_detection_packets.add(
+          static_cast<double>(run.checkpoints[first_stable].packets));
+    }
+
+    result.final_e2e_rate.add(run.observed_e2e_rate);
+    result.overhead_bytes_ratio.add(run.overhead_bytes_ratio);
+    result.overhead_packets_ratio.add(run.overhead_packets_ratio);
+    for (std::size_t i = 0; i < d && i < run.final_thetas.size(); ++i) {
+      result.final_thetas[i].add(run.final_thetas[i]);
+    }
+    if (!result.storage_grids.empty()) {
+      for (std::size_t i = 0; i <= d && i < run.storage.size(); ++i) {
+        result.storage_grids[i].accumulate(run.storage[i]);
+      }
+    }
+
+    if (config.progress) config.progress(r);
+  }
+
+  const double n = static_cast<double>(config.runs);
+  for (std::size_t i = 0; i < num_cps; ++i) {
+    CurvePoint pt;
+    pt.packets = config.base.checkpoints[i];
+    pt.fp = static_cast<double>(fp_count[i]) / n;
+    pt.fn = static_cast<double>(fn_count[i]) / n;
+    result.curve.push_back(pt);
+    if (!result.detection_packets && pt.fp <= config.sigma &&
+        pt.fn <= config.sigma) {
+      result.detection_packets = pt.packets;
+    }
+  }
+  return result;
+}
+
+}  // namespace paai::runner

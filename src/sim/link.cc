@@ -1,0 +1,27 @@
+#include "sim/link.h"
+
+namespace paai::sim {
+
+void Link::transmit(const PacketEnv& env) {
+  const auto type = net::peek_type(env.view());
+  if (counters_ != nullptr && type) {
+    counters_->on_transmit(*type, env.wire_size, index_);
+  }
+  if (rng_.bernoulli(loss_rate_)) {
+    if (counters_ != nullptr) {
+      counters_->on_link_drop(index_,
+                              type.value_or(net::PacketType::kData));
+    }
+    return;
+  }
+  Node* target = env.dir == Direction::kToDest ? downstream_ : upstream_;
+  if (target == nullptr) return;
+  SimDuration delay = latency_;
+  if (jitter_ > 0) {
+    delay += static_cast<SimDuration>(rng_.next_double() *
+                                      static_cast<double>(jitter_));
+  }
+  sim_.after(delay, [target, env] { target->deliver(env); });
+}
+
+}  // namespace paai::sim

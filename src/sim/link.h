@@ -1,0 +1,67 @@
+// A bidirectional point-to-point link with independent natural loss.
+//
+// §3.2: "links in the network independently exhibit some natural packet
+// loss due to congestion and/or channel errors" and §8.1: "each packet
+// traversing a link has an independent probability of being dropped
+// bi-directionally", "per-link bi-directional latency distributed within 0
+// to 5 ms uniformly at random" — the latency is drawn once per link; the
+// loss coin is tossed per traversal.
+#pragma once
+
+#include <cstddef>
+
+#include "net/packet.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace paai::sim {
+
+class Link {
+ public:
+  Link(Simulator& sim, std::size_t index, double loss_rate,
+       SimDuration latency, SimDuration jitter, Rng rng,
+       TrafficCounters* counters)
+      : sim_(sim),
+        index_(index),
+        loss_rate_(loss_rate),
+        latency_(latency),
+        jitter_(jitter),
+        rng_(rng),
+        counters_(counters) {}
+
+  Link(Simulator& sim, std::size_t index, double loss_rate,
+       SimDuration latency, Rng rng, TrafficCounters* counters)
+      : Link(sim, index, loss_rate, latency, 0, rng, counters) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void connect(Node* upstream, Node* downstream) {
+    upstream_ = upstream;
+    downstream_ = downstream;
+  }
+
+  /// Sends the packet across the link: counts it, tosses the natural-loss
+  /// coin, and on survival schedules delivery at the peer after `latency`.
+  void transmit(const PacketEnv& env);
+
+  std::size_t index() const { return index_; }
+  double loss_rate() const { return loss_rate_; }
+  void set_loss_rate(double rate) { loss_rate_ = rate; }
+  SimDuration latency() const { return latency_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t index_;
+  double loss_rate_;
+  SimDuration latency_;
+  SimDuration jitter_ = 0;
+  Rng rng_;
+  TrafficCounters* counters_;
+  Node* upstream_ = nullptr;    // the l_i endpoint closer to S (F_i)
+  Node* downstream_ = nullptr;  // the endpoint closer to D (F_{i+1})
+};
+
+}  // namespace paai::sim

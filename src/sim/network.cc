@@ -1,0 +1,61 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+namespace paai::sim {
+
+PathNetwork::PathNetwork(Simulator& sim, const PathConfig& config)
+    : sim_(sim), config_(config), counters_(config.length) {
+  if (config.length < 2) {
+    throw std::invalid_argument("PathNetwork: path length must be >= 2");
+  }
+  if (config.max_latency_ms < config.min_latency_ms) {
+    throw std::invalid_argument("PathNetwork: invalid latency range");
+  }
+
+  Rng master(config.seed);
+  Rng latency_rng = master.fork(1);
+  Rng clock_rng = master.fork(2);
+  Rng loss_seed_rng = master.fork(3);
+
+  nodes_.reserve(config.length + 1);
+  for (std::size_t i = 0; i <= config.length; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim_, i));
+    if (config.max_clock_error_ms > 0.0) {
+      nodes_.back()->set_clock_offset(milliseconds(clock_rng.uniform(
+          -config.max_clock_error_ms, config.max_clock_error_ms)));
+    }
+  }
+
+  links_.reserve(config.length);
+  for (std::size_t i = 0; i < config.length; ++i) {
+    const SimDuration latency = milliseconds(
+        latency_rng.uniform(config.min_latency_ms, config.max_latency_ms));
+    links_.push_back(std::make_unique<Link>(
+        sim_, i, config.natural_loss, latency,
+        milliseconds(config.jitter_ms), loss_seed_rng.fork(i), &counters_));
+    links_[i]->connect(nodes_[i].get(), nodes_[i + 1].get());
+    nodes_[i]->set_link_toward_dest(links_[i].get());
+    nodes_[i + 1]->set_link_toward_source(links_[i].get());
+  }
+}
+
+SimDuration PathNetwork::rtt_bound(std::size_t i) const {
+  if (i > config_.length) {
+    throw std::out_of_range("rtt_bound: node index outside [0, d]");
+  }
+  // Per-hop allowance for processing/queuing on top of the worst latency
+  // plus the configured jitter.
+  constexpr double kPerHopSlackMs = 0.2;
+  const double hops = static_cast<double>(config_.length - i);
+  return milliseconds(2.0 * hops * (config_.max_latency_ms +
+                                    config_.jitter_ms + kPerHopSlackMs));
+}
+
+void PathNetwork::start_agents() {
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    if (Agent* a = nodes_[i]->agent()) a->start();
+  }
+}
+
+}  // namespace paai::sim

@@ -1,0 +1,29 @@
+#include "sim/node.h"
+
+#include "sim/link.h"
+
+namespace paai::sim {
+
+void Node::attach_agent(std::unique_ptr<Agent> agent) {
+  agent_ = std::move(agent);
+  agent_->node_ = this;
+}
+
+void Node::deliver(const PacketEnv& env) {
+  if (agent_) agent_->on_packet(env);
+}
+
+void Node::originate(Direction dir, std::shared_ptr<const Bytes> wire,
+                     std::size_t wire_size) {
+  Link* link = dir == Direction::kToDest ? toward_dest_ : toward_source_;
+  if (link == nullptr) return;
+  link->transmit(PacketEnv{std::move(wire), wire_size, dir});
+}
+
+void Node::forward(const PacketEnv& env) {
+  Link* link = env.dir == Direction::kToDest ? toward_dest_ : toward_source_;
+  if (link == nullptr) return;
+  link->transmit(env);
+}
+
+}  // namespace paai::sim

@@ -1,0 +1,102 @@
+// Node and Agent: the simulator-side runtime of one path element.
+//
+// A Node owns the mechanics (links, clock, storage meter); the attached
+// Agent owns the protocol logic (full-ack / PAAI-1 / PAAI-2 / ... source,
+// relay, or destination behaviour). Adversarial behaviour is injected into
+// relay agents, never into Links — matching the paper's model where links
+// only exhibit *natural* loss and all malice comes from compromised nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "sim/storage.h"
+#include "util/bytes.h"
+
+namespace paai::sim {
+
+class Link;
+class Node;
+
+/// Travel direction of a packet on the path.
+enum class Direction : std::uint8_t {
+  kToDest,    // S -> D (data, probes, report requests)
+  kToSource,  // D -> S (acks, reports)
+};
+
+/// A packet in flight. `wire` holds the protocol header bytes (shared so
+/// relays can forward without copying); `wire_size` additionally counts the
+/// simulated application payload.
+struct PacketEnv {
+  std::shared_ptr<const Bytes> wire;
+  std::size_t wire_size = 0;
+  Direction dir = Direction::kToDest;
+
+  ByteView view() const { return ByteView(wire->data(), wire->size()); }
+};
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Called once when the simulation starts.
+  virtual void start() {}
+
+  /// Called for every packet delivered to this node.
+  virtual void on_packet(const PacketEnv& env) = 0;
+
+ protected:
+  Node& node() const { return *node_; }
+
+ private:
+  friend class Node;
+  Node* node_ = nullptr;
+};
+
+class Node {
+ public:
+  Node(Simulator& sim, std::size_t index) : sim_(sim), index_(index) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  void attach_agent(std::unique_ptr<Agent> agent);
+  Agent* agent() { return agent_.get(); }
+
+  /// Called by a Link when a packet survives the traversal.
+  void deliver(const PacketEnv& env);
+
+  /// Puts a new packet on the wire in the given direction. No-op when the
+  /// node is the last one in that direction (S upstream / D downstream).
+  void originate(Direction dir, std::shared_ptr<const Bytes> wire,
+                 std::size_t wire_size);
+
+  /// Forwards a received packet unchanged in its travel direction.
+  void forward(const PacketEnv& env);
+
+  Simulator& sim() { return sim_; }
+  std::size_t index() const { return index_; }
+  StorageMeter& storage() { return storage_; }
+  const StorageMeter& storage() const { return storage_; }
+
+  /// Local clock: simulation time plus this node's (loose-sync) offset.
+  SimTime local_now() const { return sim_.now() + clock_offset_; }
+  void set_clock_offset(SimDuration offset) { clock_offset_ = offset; }
+
+  void set_link_toward_source(Link* l) { toward_source_ = l; }
+  void set_link_toward_dest(Link* l) { toward_dest_ = l; }
+  Link* link_toward_source() { return toward_source_; }
+  Link* link_toward_dest() { return toward_dest_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t index_;
+  std::unique_ptr<Agent> agent_;
+  StorageMeter storage_;
+  SimDuration clock_offset_ = 0;
+  Link* toward_source_ = nullptr;
+  Link* toward_dest_ = nullptr;
+};
+
+}  // namespace paai::sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace paai::sim {
+
+void Simulator::at(SimTime t, Handler fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(SimDuration delay, Handler fn) {
+  if (delay < 0) delay = 0;
+  at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is moved out via const_cast,
+  // which is safe because pop() follows immediately and the heap order
+  // does not depend on the handler.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time < t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace paai::sim

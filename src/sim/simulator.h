@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// A binary-heap event queue with a strict total order: (time, insertion
+// sequence). The tie-break makes runs bit-for-bit reproducible for a given
+// seed — two events scheduled for the same instant always fire in
+// scheduling order, independent of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace paai::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time t (>= now, else clamped to now).
+  void at(SimTime t, Handler fn);
+
+  /// Schedules `fn` after a relative delay (>= 0, else clamped).
+  void after(SimDuration delay, Handler fn);
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue empties.
+  void run();
+
+  /// Runs every event scheduled strictly before `t`, then sets now() = t.
+  void run_until(SimTime t);
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace paai::sim

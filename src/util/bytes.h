@@ -1,0 +1,36 @@
+// Byte-buffer helpers shared across the library.
+//
+// The whole code base passes binary data as `Bytes` (an owning
+// std::vector<uint8_t>) or `ByteView` (a non-owning std::span). Hex
+// conversion is used by tests (crypto test vectors) and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paai {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as a lowercase hex string ("deadbeef").
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string. Accepts upper/lower case; throws
+/// std::invalid_argument on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Builds a Bytes from a string literal / std::string payload.
+Bytes bytes_of(std::string_view s);
+
+/// Concatenates any number of byte views into one owning buffer.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Constant-time equality for fixed-size secrets (MAC tags). Returns false
+/// for mismatched lengths without inspecting contents.
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace paai

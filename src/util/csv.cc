@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace paai {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::num(double value, int precision) {
+  return cell(fmt_num(value, precision));
+}
+
+Table& Table::integer(long long value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    print_csv(os);
+  } else {
+    print(os);
+  }
+}
+
+std::string fmt_num(double value, int precision) {
+  std::ostringstream ss;
+  ss.precision(precision);
+  ss << value;
+  return ss.str();
+}
+
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+long long flag_or_env(int argc, char** argv, const std::string& name,
+                      const char* env, long long dflt) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atoll(arg.c_str() + prefix.size());
+    }
+  }
+  if (env != nullptr) {
+    if (const char* v = std::getenv(env); v != nullptr && *v != '\0') {
+      return std::atoll(v);
+    }
+  }
+  return dflt;
+}
+
+}  // namespace paai

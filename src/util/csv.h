@@ -1,0 +1,48 @@
+// Small table formatter used by every bench binary: prints aligned columns
+// for human reading, or CSV when requested (so the figure series can be fed
+// straight into a plotting tool).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paai {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; fill it with cell()/num().
+  Table& row();
+  Table& cell(std::string value);
+  Table& num(double value, int precision = 4);
+  Table& integer(long long value);
+
+  /// Renders with space-aligned columns.
+  void print(std::ostream& os) const;
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: honours `csv` flag.
+  void print(std::ostream& os, bool csv) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly (strips trailing zeros).
+std::string fmt_num(double value, int precision = 4);
+
+/// True when argv contains the given flag (e.g. "--csv").
+bool has_flag(int argc, char** argv, const std::string& flag);
+
+/// Returns the integer value following "--name=" or env fallback, else dflt.
+long long flag_or_env(int argc, char** argv, const std::string& name,
+                      const char* env, long long dflt);
+
+}  // namespace paai

@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paai {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double hoeffding_samples(double eps, double sigma) {
+  return std::log(2.0 / sigma) / (2.0 * eps * eps);
+}
+
+double hoeffding_failure(double n, double eps) {
+  return 2.0 * std::exp(-2.0 * n * eps * eps);
+}
+
+double wilson_halfwidth(double p_hat, std::size_t n) {
+  if (n == 0) return 1.0;
+  constexpr double z = 1.959963984540054;
+  const double nn = static_cast<double>(n);
+  return z * std::sqrt(p_hat * (1.0 - p_hat) / nn + z * z / (4.0 * nn * nn)) /
+         (1.0 + z * z / nn);
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double chi_square_uniform(const std::vector<std::uint64_t>& observed) {
+  if (observed.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (auto c : observed) total += c;
+  if (total == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  double stat = 0.0;
+  for (auto c : observed) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+}  // namespace paai

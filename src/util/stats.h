@@ -1,0 +1,56 @@
+// Statistical helpers used by the protocol scorers, the analysis module
+// (Theorem 2 is a Hoeffding bound), and the Monte-Carlo aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paai {
+
+/// Single-pass mean / variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel Welford).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Number of i.i.d. Bernoulli samples needed so that the empirical mean is
+/// within +/- eps of the true mean with probability >= 1 - sigma
+/// (two-sided Hoeffding):  n >= ln(2/sigma) / (2 eps^2).
+double hoeffding_samples(double eps, double sigma);
+
+/// Two-sided Hoeffding failure probability after n samples at accuracy eps:
+/// 2 exp(-2 n eps^2).
+double hoeffding_failure(double n, double eps);
+
+/// Wilson score interval half-width for a proportion p_hat over n trials at
+/// ~95% confidence (z = 1.96). Used when reporting FP/FN curves.
+double wilson_halfwidth(double p_hat, std::size_t n);
+
+/// Quantile of a sorted-or-not sample (linear interpolation, q in [0,1]).
+/// Copies and sorts internally; empty input returns 0.
+double quantile(std::vector<double> xs, double q);
+
+/// Pearson chi-square statistic for an observed histogram against uniform
+/// expectation. Used by the PAAI-2 selection-uniformity property test.
+double chi_square_uniform(const std::vector<std::uint64_t>& observed);
+
+}  // namespace paai

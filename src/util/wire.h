@@ -1,0 +1,63 @@
+// Bounds-checked big-endian wire serialization.
+//
+// Every packet in src/net has an explicit wire format encoded/decoded with
+// these helpers. WireReader never reads past the buffer: all getters return
+// false (or std::nullopt via helpers) on truncated input, so decoding
+// attacker-supplied bytes can never crash — a property fuzz-tested in
+// tests/wire_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace paai {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix.
+  void raw(ByteView data);
+  /// Length-prefixed (u16) variable byte string.
+  void var_bytes(ByteView data);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(ByteView data) : data_(data) {}
+
+  bool u8(std::uint8_t& out);
+  bool u16(std::uint16_t& out);
+  bool u32(std::uint32_t& out);
+  bool u64(std::uint64_t& out);
+  /// Copies exactly n bytes.
+  bool raw(std::size_t n, Bytes& out);
+  /// Reads a u16 length prefix then that many bytes. Fails if the prefix
+  /// exceeds the remaining buffer.
+  bool var_bytes(Bytes& out);
+  /// Skips n bytes.
+  bool skip(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t*& p);
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace paai

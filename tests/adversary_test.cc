@@ -1,0 +1,101 @@
+// Adversary-strategy unit tests: each strategy's decision behaviour in
+// isolation (rates, type selectivity, withhold bookkeeping, activation).
+#include <gtest/gtest.h>
+
+#include "adversary/strategy.h"
+
+namespace paai::adversary {
+namespace {
+
+Context ctx_of(net::PacketType type,
+               sim::Direction dir = sim::Direction::kToDest) {
+  Context c;
+  c.type = type;
+  c.dir = dir;
+  c.node_index = 3;
+  return c;
+}
+
+double drop_rate(Strategy& s, net::PacketType type, int trials = 20000,
+                 sim::Direction dir = sim::Direction::kToDest) {
+  int drops = 0;
+  for (int i = 0; i < trials; ++i) {
+    const Action a = s.on_packet(ctx_of(type, dir));
+    if (a == Action::kDrop || a == Action::kWithhold ||
+        a == Action::kCorrupt) {
+      ++drops;
+    }
+  }
+  return static_cast<double>(drops) / trials;
+}
+
+TEST(UniformDropper, DropsAllTypesAtRate) {
+  auto s = make_uniform_dropper(0.2, Rng(1));
+  EXPECT_NEAR(drop_rate(*s, net::PacketType::kData), 0.2, 0.02);
+  EXPECT_NEAR(drop_rate(*s, net::PacketType::kDestAck), 0.2, 0.02);
+  EXPECT_NEAR(drop_rate(*s, net::PacketType::kProbe), 0.2, 0.02);
+}
+
+TEST(UniformDropper, InactiveForwardsEverything) {
+  auto s = make_uniform_dropper(1.0, Rng(1));
+  s->set_active(false);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kData, 100), 0.0);
+  s->set_active(true);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kData, 100), 1.0);
+}
+
+TEST(TypeRateDropper, SplitsByType) {
+  TypeRates rates;
+  rates.data = 0.5;
+  rates.probe = 0.1;
+  rates.ack = 0.0;
+  auto s = make_type_rate_dropper(rates, Rng(2));
+  EXPECT_NEAR(drop_rate(*s, net::PacketType::kData), 0.5, 0.02);
+  EXPECT_NEAR(drop_rate(*s, net::PacketType::kProbe), 0.1, 0.02);
+  EXPECT_NEAR(drop_rate(*s, net::PacketType::kFlRequest), 0.1, 0.02);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kDestAck, 1000), 0.0);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kReportAck, 1000), 0.0);
+}
+
+TEST(AckDropper, OnlyAcksAffected) {
+  auto s = make_ack_dropper(1.0, Rng(3));
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kData, 500), 0.0);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kProbe, 500), 0.0);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kDestAck, 500), 1.0);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kReportAck, 500), 1.0);
+  EXPECT_EQ(drop_rate(*s, net::PacketType::kFlReport, 500), 1.0);
+}
+
+TEST(Corrupter, EmitsCorruptAction) {
+  auto s = make_corrupter(1.0, Rng(4));
+  EXPECT_EQ(s->on_packet(ctx_of(net::PacketType::kData)), Action::kCorrupt);
+  auto s2 = make_corrupter(0.0, Rng(4));
+  EXPECT_EQ(s2->on_packet(ctx_of(net::PacketType::kData)), Action::kForward);
+}
+
+TEST(Withholder, WithholdsOnlyForwardPathData) {
+  auto s = make_withholder(1.0, /*release=*/true, Rng(5));
+  EXPECT_EQ(s->on_packet(ctx_of(net::PacketType::kData)), Action::kWithhold);
+  EXPECT_EQ(s->on_packet(ctx_of(net::PacketType::kProbe)), Action::kForward);
+  EXPECT_EQ(s->on_packet(
+                ctx_of(net::PacketType::kData, sim::Direction::kToSource)),
+            Action::kForward);
+  EXPECT_EQ(s->on_withheld_probe(ctx_of(net::PacketType::kProbe)),
+            Action::kForward);
+
+  auto dropper = make_withholder(1.0, /*release=*/false, Rng(5));
+  EXPECT_EQ(dropper->on_withheld_probe(ctx_of(net::PacketType::kProbe)),
+            Action::kDrop);
+}
+
+TEST(AllStrategies, DefaultPretendHonestInAcks) {
+  auto a = make_uniform_dropper(0.5, Rng(6));
+  auto b = make_ack_dropper(0.5, Rng(6));
+  auto c = make_withholder(0.5, true, Rng(6));
+  EXPECT_TRUE(a->pretend_honest_in_acks());
+  EXPECT_TRUE(b->pretend_honest_in_acks());
+  EXPECT_TRUE(c->pretend_honest_in_acks());
+}
+
+}  // namespace
+}  // namespace paai::adversary

@@ -1,0 +1,120 @@
+// Analysis-module tests: the closed forms must reproduce the paper's §7.2
+// worked example and the qualitative statements of Corollaries 1-3 and
+// Table 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.h"
+
+namespace paai::analysis {
+namespace {
+
+Params reference() {
+  Params p;
+  p.d = 6;
+  p.rho = 0.01;
+  p.alpha = 0.03;
+  p.sigma = 0.03;
+  p.p = 1.0 / 36.0;
+  return p;
+}
+
+TEST(Bounds, WorkedExampleSection72) {
+  const Params p = reference();
+  // "we have tau_1 = 1500, tau_2 = 5e4 and tau_3 = 6e5; whereas the
+  // detection rate in statistical FL is 2e7."
+  EXPECT_NEAR(tau_fullack(p), 1500.0, 150.0);
+  EXPECT_NEAR(tau_paai1(p), 5e4, 5e3);
+  EXPECT_NEAR(tau_paai2(p), 6e5, 1e5);
+  EXPECT_NEAR(tau_statfl(p), 2e7, 5e6);
+}
+
+TEST(Bounds, Table2MinutesAt100pps) {
+  const Params p = reference();
+  // Table 2 bounds: 0.25, 9, 100, 3333 minutes at 100 packets/second.
+  EXPECT_NEAR(detection_minutes(tau_fullack(p), 100.0), 0.25, 0.05);
+  EXPECT_NEAR(detection_minutes(tau_paai1(p), 100.0), 9.0, 1.0);
+  EXPECT_NEAR(detection_minutes(tau_paai2(p), 100.0), 100.0, 15.0);
+  EXPECT_NEAR(detection_minutes(tau_statfl(p), 100.0), 3333.0, 1000.0);
+}
+
+TEST(Bounds, Corollary3SensitivityToSigma) {
+  // sigma dominates full-ack/PAAI-1 detection; d and rho barely matter.
+  Params p = reference();
+  const double base = tau_paai1(p);
+  Params tighter = p;
+  tighter.sigma = 0.003;
+  EXPECT_GT(tau_paai1(tighter), base * 1.4);
+
+  Params longer = p;
+  longer.d = 12;
+  EXPECT_LT(tau_paai1(longer) / base, 1.15);  // negligible influence
+
+  // PAAI-2, in contrast, depends heavily on d (2^d factor).
+  EXPECT_GT(tau_paai2(longer) / tau_paai2(p), 100.0);
+}
+
+TEST(Bounds, Theorem1MaliciousRates) {
+  const Params p = reference();
+  EXPECT_DOUBLE_EQ(zeta_onion(1, p), 0.03);
+  EXPECT_DOUBLE_EQ(zeta_onion(3, p), 0.09);
+  // PAAI-2's bound exceeds the onion bound (coarser localization lets the
+  // adversary hide more), and grows with z.
+  EXPECT_GT(zeta_paai2(1, p), zeta_onion(1, p));
+  EXPECT_GT(zeta_paai2(3, p), zeta_paai2(1, p));
+  // psi_th = 1 - (1-alpha)^{2d}.
+  EXPECT_NEAR(psi_threshold(p), 1.0 - std::pow(0.97, 12.0), 1e-12);
+  // With every link malicious, the bound degenerates to psi_th itself
+  // (the (1-rho) correction disappears when d - z = 0).
+  EXPECT_NEAR(zeta_paai2(p.d, p), psi_threshold(p), 1e-12);
+}
+
+TEST(Bounds, Corollary2LinearInZ) {
+  const Params p = reference();
+  EXPECT_DOUBLE_EQ(optimal_spread_total(4, p), 4.0 * optimal_spread_total(1, p));
+}
+
+TEST(Bounds, CommunicationOverheadOrdering) {
+  Params p = reference();
+  p.psi = 0.077;
+  // Full-ack is the most expensive; PAAI-1 cheap; combinations cheaper
+  // than their parents; statistical FL nearly free.
+  EXPECT_GT(comm_fullack(p), comm_paai2(p));
+  EXPECT_GT(comm_paai2(p), comm_paai1(p));
+  EXPECT_GT(comm_paai1(p), comm_comb1(p));
+  EXPECT_GT(comm_paai2(p), comm_comb2(p));
+  EXPECT_LE(comm_statfl(p), comm_comb2(p));
+  // §9: p = 1/(5 d^2) gives ~3% overhead for d = 6... in packet terms the
+  // paper quotes ~3% of normal traffic for the O(d)-sized onion per
+  // sampled packet.
+  Params p9 = p;
+  p9.p = 1.0 / (5.0 * 36.0);
+  EXPECT_NEAR(comm_paai1(p9) * 100.0, 3.3, 0.5);
+}
+
+TEST(Bounds, StorageBoundsMatchTable1) {
+  const Params p = reference();
+  EXPECT_DOUBLE_EQ(storage_fullack(p).worst, 2.0);
+  EXPECT_DOUBLE_EQ(storage_fullack(p).ideal, 1.0);
+  EXPECT_NEAR(storage_paai1(p).worst, 0.5 + p.p, 1e-12);
+  EXPECT_DOUBLE_EQ(storage_paai2(p).worst, 2.0);
+  EXPECT_NEAR(storage_statfl(p).worst, p.p, 1e-12);
+  EXPECT_NEAR(storage_comb1(p).worst, 0.5 + 2.0 * p.p, 1e-12);
+  EXPECT_NEAR(storage_comb2(p).worst, 1.0 + p.p, 1e-12);
+  EXPECT_DOUBLE_EQ(storage_comb2(p).ideal, 1.0);
+  // PAAI-1's worst case beats full-ack's by ~4x.
+  EXPECT_LT(storage_paai1(p).worst, storage_fullack(p).worst / 3.0);
+}
+
+TEST(Bounds, DetectionRateOrderingAcrossProtocols) {
+  const Params p = reference();
+  EXPECT_LT(tau_fullack(p), tau_paai1(p));
+  EXPECT_LT(tau_paai1(p), tau_paai2(p));
+  EXPECT_LT(tau_paai2(p), tau_statfl(p));
+  EXPECT_LT(tau_statfl(p), tau_comb2(p));
+  EXPECT_DOUBLE_EQ(tau_comb1(p), tau_paai1(p));
+}
+
+}  // namespace
+}  // namespace paai::analysis

@@ -1,0 +1,89 @@
+// Combination-protocol (§10) specific behaviour: the K_d-keyed sampling
+// agreement between source and destination, the overhead orderings of
+// Table 1, and convergence of both hybrids.
+#include <gtest/gtest.h>
+
+#include "crypto/sampler.h"
+#include "runner/experiment.h"
+
+namespace paai::runner {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(Combinations, SourceAndDestinationAgreeOnSampling) {
+  // Both ends evaluate the same K_d-keyed sampler; relays (holding other
+  // keys) see ~p agreement only by chance.
+  const auto provider = crypto::make_real_crypto();
+  const crypto::KeyStore keys(crypto::test_master_key(8), 6);
+  const double p = 1.0 / 9.0;
+  const crypto::SecureSampler source_view(*provider, keys.destination_key(),
+                                          p);
+  const crypto::SecureSampler dest_view(*provider, keys.node_key(6), p);
+  int sampled = 0;
+  for (int i = 0; i < 5000; ++i) {
+    net::DataPacket pkt{static_cast<std::uint64_t>(i), 1, 2};
+    const auto id = pkt.id(*provider);
+    const bool s = source_view.sampled(ByteView(id.data(), id.size()));
+    const bool d = dest_view.sampled(ByteView(id.data(), id.size()));
+    EXPECT_EQ(s, d);
+    sampled += s ? 1 : 0;
+  }
+  EXPECT_NEAR(sampled / 5000.0, p, 0.02);
+}
+
+TEST(Combinations, Comb1CutsCommVersusPaai1) {
+  ExperimentConfig p1 = paper_config(ProtocolKind::kPaai1, 30000, 81);
+  p1.params.send_rate_pps = 1000.0;
+  ExperimentConfig c1 = paper_config(ProtocolKind::kCombination1, 30000, 81);
+  c1.params.send_rate_pps = 1000.0;
+
+  const ExperimentResult rp = run_experiment(p1);
+  const ExperimentResult rc = run_experiment(c1);
+  // Comb-1 solicits the O(d) onion only for lost sampled packets.
+  EXPECT_LT(rc.overhead_bytes_ratio, rp.overhead_bytes_ratio);
+}
+
+TEST(Combinations, Comb2CutsCommVersusPaai2) {
+  ExperimentConfig p2 = paper_config(ProtocolKind::kPaai2, 30000, 82);
+  p2.params.send_rate_pps = 1000.0;
+  ExperimentConfig c2 = paper_config(ProtocolKind::kCombination2, 30000, 82);
+  c2.params.send_rate_pps = 1000.0;
+
+  const ExperimentResult rp = run_experiment(p2);
+  const ExperimentResult rc = run_experiment(c2);
+  // PAAI-2 acks every packet; Comb-2 acks only the sampled fraction.
+  EXPECT_LT(rc.overhead_packets_ratio, rp.overhead_packets_ratio * 0.25);
+}
+
+TEST(Combinations, Comb1StorageExceedsPaai1) {
+  // Relays cannot evaluate the K_d-keyed sampler, so they hold state for
+  // every packet across the ack round trip (Table 1's 0.5 + 2p vs
+  // 0.5 + p coefficients; in our secure-timer implementation both are
+  // higher, but the ordering persists).
+  auto measure = [](ProtocolKind kind) {
+    ExperimentConfig cfg = paper_config(kind, 3000, 83);
+    cfg.params.send_rate_pps = 1000.0;
+    cfg.storage_sample_period = sim::milliseconds(2.0);
+    const ExperimentResult r = run_experiment(cfg);
+    RunningStat avg;
+    for (const auto& pt : r.storage[1].points()) {
+      if (pt.t > 0.3) avg.add(pt.value);
+    }
+    return avg.mean();
+  };
+  EXPECT_GT(measure(ProtocolKind::kCombination1),
+            measure(ProtocolKind::kPaai1) * 1.05);
+}
+
+TEST(Combinations, Comb1ObservationsTrackSampledFraction) {
+  ExperimentConfig cfg = paper_config(ProtocolKind::kCombination1, 90000, 84);
+  cfg.params.send_rate_pps = 1000.0;
+  const ExperimentResult r = run_experiment(cfg);
+  // ~N*p monitored units.
+  EXPECT_NEAR(static_cast<double>(r.observations), 2500.0, 250.0);
+  EXPECT_EQ(r.final_convicted, std::vector<std::size_t>{4});
+}
+
+}  // namespace
+}  // namespace paai::runner

@@ -1,0 +1,90 @@
+// ProtocolContext timing-invariant tests: the relationships between RTT
+// bounds, the freshness window, and the probe delay that the security
+// argument of §5 rests on — across path lengths, latency ranges, and
+// clock-synchronization error bounds.
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "crypto/provider.h"
+#include "protocols/context.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace paai::protocols {
+namespace {
+
+class ContextTiming
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, double>> {
+};
+
+TEST_P(ContextTiming, InvariantsHoldAcrossConfigurations) {
+  const std::size_t d = std::get<0>(GetParam());
+  const double max_lat = std::get<1>(GetParam());
+  const double clock_err = std::get<2>(GetParam());
+
+  sim::Simulator simulator;
+  sim::PathConfig pc;
+  pc.length = d;
+  pc.max_latency_ms = max_lat;
+  pc.max_clock_error_ms = clock_err;
+  pc.seed = 3;
+  sim::PathNetwork net(simulator, pc);
+  const auto provider = crypto::make_fast_crypto();
+  const crypto::KeyStore keys(crypto::test_master_key(3), d);
+  const ProtocolContext ctx(*provider, keys, net, {});
+
+  // 1. Freshness admits every honest transit: one-way worst case plus the
+  //    clock disagreement between sender and checker.
+  sim::SimDuration worst_transit = 0;
+  for (std::size_t i = 0; i < d; ++i) worst_transit += net.link(i).latency();
+  EXPECT_GE(ctx.freshness_window(),
+            worst_transit + 2 * sim::milliseconds(clock_err));
+
+  // 2. Withholding defense: the probe strictly trails the window, so data
+  //    released on probe arrival is already stale everywhere.
+  EXPECT_GT(ctx.probe_delay(), ctx.freshness_window());
+
+  // 3. Wait-timer nesting: r_i decreases strictly toward the destination.
+  for (std::size_t i = 0; i < d; ++i) {
+    EXPECT_GT(ctx.rtt(i), ctx.rtt(i + 1));
+  }
+  EXPECT_EQ(ctx.rtt(d), 0);
+
+  // 4. Relay state outlives any probe that can still arrive.
+  EXPECT_GE(ctx.unprobed_state_horizon(),
+            ctx.probe_delay() + worst_transit);
+
+  EXPECT_EQ(ctx.d(), d);
+  EXPECT_EQ(ctx.key_vector().size(), d + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ContextTiming,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{6},
+                                         std::size_t{12}),
+                       ::testing::Values(1.0, 5.0, 20.0),
+                       ::testing::Values(0.0, 1.0, 5.0)));
+
+TEST(Context, RejectsMismatchedKeyStore) {
+  sim::Simulator simulator;
+  sim::PathConfig pc;
+  pc.length = 6;
+  sim::PathNetwork net(simulator, pc);
+  const auto provider = crypto::make_fast_crypto();
+  const crypto::KeyStore wrong(crypto::test_master_key(1), 4);
+  EXPECT_THROW(ProtocolContext(*provider, wrong, net, {}),
+               std::invalid_argument);
+}
+
+TEST(Context, ProtocolNamesAreStable) {
+  EXPECT_STREQ(protocol_name(ProtocolKind::kFullAck), "full-ack");
+  EXPECT_STREQ(protocol_name(ProtocolKind::kPaai1), "PAAI-1");
+  EXPECT_STREQ(protocol_name(ProtocolKind::kPaai2), "PAAI-2");
+  EXPECT_STREQ(protocol_name(ProtocolKind::kCombination1), "combination-1");
+  EXPECT_STREQ(protocol_name(ProtocolKind::kCombination2), "combination-2");
+  EXPECT_STREQ(protocol_name(ProtocolKind::kStatisticalFl),
+               "statistical-FL");
+}
+
+}  // namespace
+}  // namespace paai::protocols

@@ -1,0 +1,31 @@
+// Scratch diagnostic binary (not a registered test).
+#include <cstdio>
+
+#include "runner/experiment.h"
+
+using namespace paai;
+using namespace paai::runner;
+
+static void show(protocols::ProtocolKind kind, const char* name,
+                 std::uint64_t packets) {
+  ExperimentConfig cfg = paper_config(kind, packets, 42);
+  const ExperimentResult r = run_experiment(cfg);
+  std::printf("%-12s sent=%llu obs=%llu e2e=%.4f overheadB=%.3f thetas:",
+              name, (unsigned long long)r.packets_sent,
+              (unsigned long long)r.observations, r.observed_e2e_rate,
+              r.overhead_bytes_ratio);
+  for (double t : r.final_thetas) std::printf(" %.4f", t);
+  std::printf("  convicted:");
+  for (auto c : r.final_convicted) std::printf(" %zu", c);
+  std::printf("\n");
+}
+
+int main() {
+  show(protocols::ProtocolKind::kFullAck, "fullack", 4000);
+  show(protocols::ProtocolKind::kPaai1, "paai1", 80000);
+  show(protocols::ProtocolKind::kPaai2, "paai2", 400000);
+  show(protocols::ProtocolKind::kCombination1, "comb1", 120000);
+  show(protocols::ProtocolKind::kCombination2, "comb2", 1000000);
+  show(protocols::ProtocolKind::kStatisticalFl, "statfl", 1000000);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fleet-runner tests (Corollary 2 infrastructure): baseline measurement,
+// per-path outcome classification, and damage aggregation.
+#include <gtest/gtest.h>
+
+#include "runner/fleet.h"
+
+namespace paai::runner {
+namespace {
+
+FleetConfig base_fleet() {
+  FleetConfig cfg;
+  cfg.base = paper_config(protocols::ProtocolKind::kPaai1, 40000, 0);
+  cfg.base.link_faults.clear();
+  cfg.base.params.probe_probability = 1.0 / 9.0;
+  cfg.base.params.send_rate_pps = 1000.0;
+  return cfg;
+}
+
+TEST(Fleet, CleanPathsReportNoDamageOrConvictions) {
+  FleetConfig cfg = base_fleet();
+  cfg.paths = {{}, {}};
+  const FleetResult r = run_fleet(cfg);
+  ASSERT_EQ(r.paths.size(), 2u);
+  EXPECT_GT(r.baseline_delivery, 0.9);
+  EXPECT_LT(r.total_damage, 0.01);
+  for (const auto& p : r.paths) {
+    EXPECT_TRUE(p.convicted.empty());
+    EXPECT_TRUE(p.malicious.empty());
+    EXPECT_TRUE(p.all_malicious_convicted);  // vacuously
+    EXPECT_FALSE(p.any_honest_convicted);
+  }
+}
+
+TEST(Fleet, ClassifiesConvictionsAgainstGroundTruth) {
+  FleetConfig cfg = base_fleet();
+  cfg.paths = {{LinkFault{4, 0.05}}, {}};
+  const FleetResult r = run_fleet(cfg);
+  ASSERT_EQ(r.paths.size(), 2u);
+  EXPECT_TRUE(r.paths[0].all_malicious_convicted);
+  EXPECT_FALSE(r.paths[0].any_honest_convicted);
+  EXPECT_EQ(r.paths[0].malicious, std::vector<std::size_t>{4});
+  EXPECT_TRUE(r.paths[1].convicted.empty());
+  // Damage ~ one path losing ~5% of its traffic.
+  EXPECT_NEAR(r.total_damage, 0.05, 0.02);
+}
+
+TEST(Fleet, DamageAddsAcrossPaths) {
+  FleetConfig one = base_fleet();
+  one.paths = {{LinkFault{3, 0.05}}};
+  FleetConfig three = base_fleet();
+  three.paths = {{LinkFault{3, 0.05}},
+                 {LinkFault{3, 0.05}},
+                 {LinkFault{3, 0.05}}};
+  const double d1 = run_fleet(one).total_damage;
+  const double d3 = run_fleet(three).total_damage;
+  EXPECT_NEAR(d3, 3.0 * d1, 0.03);
+}
+
+}  // namespace
+}  // namespace paai::runner

@@ -1,0 +1,285 @@
+// Onion-report property tests: for every path length and every break
+// position, verification pinpoints exactly the first dishonest hop —
+// truncation, tampering, layer substitution, and reordering all stop the
+// valid prefix at the right place. These properties are what make the
+// full-ack / PAAI-1 blame assignment secure (§4).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "crypto/keystore.h"
+#include "crypto/provider.h"
+#include "net/onion.h"
+#include "net/packet.h"
+#include "util/wire.h"
+
+namespace paai::net {
+namespace {
+
+using crypto::Key;
+using crypto::KeyStore;
+
+struct Fixture {
+  std::unique_ptr<crypto::CryptoProvider> crypto = crypto::make_real_crypto();
+  std::size_t d;
+  KeyStore keys;
+  std::vector<Key> key_vec;
+
+  explicit Fixture(std::size_t path_len)
+      : d(path_len), keys(crypto::test_master_key(7), path_len),
+        key_vec(path_len + 1) {
+    for (std::size_t i = 1; i <= d; ++i) key_vec[i] = keys.node_key(i);
+  }
+
+  Bytes report_for(std::size_t i) const {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(i));
+    w.u32(0xfeedf00d);
+    return std::move(w).take();
+  }
+
+  /// Builds the onion that nodes origin..1 would produce.
+  Bytes build(std::size_t origin) const {
+    Bytes r = report_for(origin);
+    Bytes onion = onion_originate(*crypto, key_vec[origin],
+                                  static_cast<std::uint8_t>(origin),
+                                  ByteView(r.data(), r.size()));
+    for (std::size_t i = origin; i-- > 1;) {
+      const Bytes ri = report_for(i);
+      onion = onion_wrap(*crypto, key_vec[i], static_cast<std::uint8_t>(i),
+                         ByteView(ri.data(), ri.size()),
+                         ByteView(onion.data(), onion.size()));
+    }
+    return onion;
+  }
+
+  OnionVerifyResult verify(ByteView onion) const {
+    return onion_verify(*crypto, key_vec, d, onion,
+                        [this](std::uint8_t i, ByteView r) {
+                          return r.size() == 5 && r[0] == i;
+                        });
+  }
+};
+
+class OnionOrigin : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OnionOrigin, ValidOnionReportsOrigin) {
+  const auto [d, origin] = GetParam();
+  if (origin > d) GTEST_SKIP();
+  Fixture f(static_cast<std::size_t>(d));
+  const Bytes onion = f.build(static_cast<std::size_t>(origin));
+  const auto result = f.verify(ByteView(onion.data(), onion.size()));
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.valid_layers, static_cast<std::size_t>(origin));
+  EXPECT_EQ(result.origin, origin);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrigins, OnionOrigin,
+    ::testing::Combine(::testing::Values(2, 4, 6, 10),
+                       ::testing::Values(1, 2, 3, 5, 6, 9, 10)));
+
+class OnionTamper : public ::testing::TestWithParam<int> {};
+
+// Mid-flight tampering: the adversary at F_z alters the inner onion it
+// received (from F_{z+1}..origin), then wraps its own — necessarily
+// valid-looking — layer, and the honest nodes F_{z-1}..F_1 wrap over the
+// altered content. Verification must stop exactly after layer z: the
+// adversary can only get its *own* adjacent link blamed.
+TEST_P(OnionTamper, MidFlightTamperBlamesAdversaryBoundary) {
+  const std::size_t d = 6;
+  const std::size_t z = static_cast<std::size_t>(GetParam());
+  Fixture f(d);
+
+  // Inner onion as produced by nodes origin..z+1.
+  Bytes inner = f.report_for(d);
+  Bytes onion = onion_originate(*f.crypto, f.key_vec[d],
+                                static_cast<std::uint8_t>(d),
+                                ByteView(inner.data(), inner.size()));
+  for (std::size_t i = d; i-- > z + 1;) {
+    const Bytes ri = f.report_for(i);
+    onion = onion_wrap(*f.crypto, f.key_vec[i], static_cast<std::uint8_t>(i),
+                       ByteView(ri.data(), ri.size()),
+                       ByteView(onion.data(), onion.size()));
+  }
+  // F_z tampers with the received inner bytes...
+  onion.back() ^= 0x01;
+  // ...then wraps honestly-looking layers z..1 over the altered content.
+  for (std::size_t i = z + 1; i-- > 1;) {
+    const Bytes ri = f.report_for(i);
+    onion = onion_wrap(*f.crypto, f.key_vec[i], static_cast<std::uint8_t>(i),
+                       ByteView(ri.data(), ri.size()),
+                       ByteView(onion.data(), onion.size()));
+  }
+
+  const auto result = f.verify(ByteView(onion.data(), onion.size()));
+  EXPECT_EQ(result.valid_layers, z);  // blame lands on l_z
+  EXPECT_FALSE(result.complete);
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryPosition, OnionTamper,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Onion, OutsideTamperingInvalidatesEverything) {
+  // Flipping a byte anywhere in a *finished* onion breaks every MAC above
+  // it (each MAC covers the full inner serialization), so an off-path
+  // observer or the l_0 link cannot alter deep layers while keeping an
+  // honest-looking prefix it did not author.
+  Fixture f(6);
+  const Bytes onion = f.build(6);
+  Bytes tampered = onion;
+  tampered.back() ^= 0x01;  // innermost byte
+  const auto result = f.verify(ByteView(tampered.data(), tampered.size()));
+  EXPECT_EQ(result.valid_layers, 0u);
+}
+
+TEST(Onion, TruncationStopsAtTruncationPoint) {
+  Fixture f(6);
+  const Bytes onion = f.build(6);
+  // Removing bytes from the end invalidates every layer (MACs cover the
+  // inner serialization).
+  Bytes truncated(onion.begin(), onion.end() - 3);
+  const auto result = f.verify(ByteView(truncated.data(), truncated.size()));
+  EXPECT_EQ(result.valid_layers, 0u);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(Onion, StrippedOuterLayerFailsIndexCheck) {
+  // An adversary removing F_1's layer exposes F_2's layer first; the
+  // verifier expects index 1 and rejects immediately.
+  Fixture f(6);
+  const Bytes onion = f.build(6);
+  WireReader r(ByteView(onion.data(), onion.size()));
+  std::uint8_t idx;
+  Bytes rep, mac;
+  ASSERT_TRUE(r.u8(idx));
+  ASSERT_TRUE(r.var_bytes(rep));
+  ASSERT_TRUE(r.raw(crypto::kMacSize, mac));
+  const std::size_t first_len = 1 + 2 + rep.size() + crypto::kMacSize;
+  const Bytes stripped(onion.begin() + first_len, onion.end());
+  const auto result = f.verify(ByteView(stripped.data(), stripped.size()));
+  EXPECT_EQ(result.valid_layers, 0u);
+}
+
+TEST(Onion, WrongKeyFailsVerification) {
+  Fixture f(4);
+  const Bytes onion = f.build(4);
+  Fixture other(4);
+  // Same structure, different master key.
+  const KeyStore other_keys(crypto::test_master_key(999), 4);
+  std::vector<Key> wrong(5);
+  for (std::size_t i = 1; i <= 4; ++i) wrong[i] = other_keys.node_key(i);
+  const auto result = onion_verify(
+      *f.crypto, wrong, 4, ByteView(onion.data(), onion.size()),
+      [](std::uint8_t, ByteView) { return true; });
+  EXPECT_EQ(result.valid_layers, 0u);
+}
+
+TEST(Onion, ReportContentCheckIsEnforced) {
+  Fixture f(3);
+  const Bytes onion = f.build(3);
+  const auto result = onion_verify(
+      *f.crypto, f.key_vec, 3, ByteView(onion.data(), onion.size()),
+      [](std::uint8_t i, ByteView) { return i < 2; });  // reject layer 2+
+  EXPECT_EQ(result.valid_layers, 1u);
+}
+
+TEST(Onion, EmptyAndGarbageInputs) {
+  Fixture f(6);
+  EXPECT_EQ(f.verify(ByteView{}).valid_layers, 0u);
+  const Bytes junk = {0x01, 0x00};
+  EXPECT_EQ(f.verify(ByteView(junk.data(), junk.size())).valid_layers, 0u);
+}
+
+TEST(Onion, LayerOverheadFormulaMatchesWire) {
+  Fixture f(5);
+  const Bytes r1 = f.report_for(5);
+  const Bytes onion = f.build(5);
+  std::size_t expected = 0;
+  for (std::size_t i = 1; i <= 5; ++i) {
+    expected += onion_layer_overhead(f.report_for(i).size());
+  }
+  EXPECT_EQ(onion.size(), expected);
+}
+
+TEST(PacketFormats, RoundTripAllTypes) {
+  const auto crypto = crypto::make_real_crypto();
+
+  DataPacket data{42, 123456789, 1000};
+  const Bytes dw = data.encode();
+  const auto data2 = DataPacket::decode(ByteView(dw.data(), dw.size()));
+  ASSERT_TRUE(data2);
+  EXPECT_EQ(data2->seq, 42u);
+  EXPECT_EQ(data2->timestamp_ns, 123456789u);
+  EXPECT_EQ(data2->payload_size, 1000);
+  EXPECT_EQ(data.wire_size(), dw.size() + 1000);
+  EXPECT_EQ(data.id(*crypto), data2->id(*crypto));
+
+  DestAck ack;
+  ack.data_id = data.id(*crypto);
+  ack.tag = crypto->mac(crypto::test_master_key(1), ByteView(dw.data(), 4));
+  const Bytes aw = ack.encode();
+  const auto ack2 = DestAck::decode(ByteView(aw.data(), aw.size()));
+  ASSERT_TRUE(ack2);
+  EXPECT_EQ(ack2->data_id, ack.data_id);
+  EXPECT_EQ(ack2->tag, ack.tag);
+
+  Probe probe;
+  probe.data_id = ack.data_id;
+  probe.challenge = 0xfeedfacecafebeefULL;
+  const Bytes pw = probe.encode();
+  const auto probe2 = Probe::decode(ByteView(pw.data(), pw.size()));
+  ASSERT_TRUE(probe2);
+  EXPECT_EQ(probe2->challenge, probe.challenge);
+
+  ReportAck rep;
+  rep.data_id = ack.data_id;
+  rep.report = bytes_of("some-onion");
+  const Bytes rw = rep.encode();
+  const auto rep2 = ReportAck::decode(ByteView(rw.data(), rw.size()));
+  ASSERT_TRUE(rep2);
+  EXPECT_EQ(rep2->report, rep.report);
+
+  FlRequest req{77};
+  const Bytes qw = req.encode();
+  const auto req2 = FlRequest::decode(ByteView(qw.data(), qw.size()));
+  ASSERT_TRUE(req2);
+  EXPECT_EQ(req2->interval, 77u);
+
+  FlReport flr;
+  flr.interval = 78;
+  flr.report = bytes_of("counters");
+  const Bytes fw = flr.encode();
+  const auto flr2 = FlReport::decode(ByteView(fw.data(), fw.size()));
+  ASSERT_TRUE(flr2);
+  EXPECT_EQ(flr2->interval, 78u);
+  EXPECT_EQ(flr2->report, flr.report);
+}
+
+TEST(PacketFormats, PeekTypeAndCrossDecodeRejection) {
+  DataPacket data{1, 2, 3};
+  const Bytes dw = data.encode();
+  EXPECT_EQ(peek_type(ByteView(dw.data(), dw.size())), PacketType::kData);
+  EXPECT_FALSE(Probe::decode(ByteView(dw.data(), dw.size())));
+  EXPECT_FALSE(DestAck::decode(ByteView(dw.data(), dw.size())));
+  EXPECT_FALSE(peek_type(ByteView{}));
+  const Bytes junk = {0x77};
+  EXPECT_FALSE(peek_type(ByteView(junk.data(), junk.size())));
+}
+
+TEST(PacketFormats, IdentifierBindsAllHeaderFields) {
+  const auto crypto = crypto::make_real_crypto();
+  DataPacket a{1, 100, 50};
+  DataPacket b = a;
+  b.seq = 2;
+  DataPacket c = a;
+  c.timestamp_ns = 101;
+  DataPacket d = a;
+  d.payload_size = 51;
+  EXPECT_NE(a.id(*crypto), b.id(*crypto));
+  EXPECT_NE(a.id(*crypto), c.id(*crypto));
+  EXPECT_NE(a.id(*crypto), d.id(*crypto));
+}
+
+}  // namespace
+}  // namespace paai::net

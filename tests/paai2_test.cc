@@ -1,0 +1,205 @@
+// PAAI-2 internals: report plaintext structure, layered re-encryption
+// round trip, nonce separation, and the obliviousness property (an
+// observer — or any relay other than the selected node — cannot tell who
+// was selected from the bytes on the wire: reports have constant size and
+// every hop's output is a fresh-looking ciphertext).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/keystore.h"
+#include "crypto/provider.h"
+#include "crypto/sampler.h"
+#include "net/packet.h"
+#include "protocols/paai2.h"
+
+namespace paai::protocols {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<crypto::CryptoProvider> crypto = crypto::make_real_crypto();
+  std::size_t d = 6;
+  crypto::KeyStore keys{crypto::test_master_key(5), 6};
+
+  net::PacketId id() const {
+    net::DataPacket pkt{1, 2, 3};
+    return pkt.id(*crypto);
+  }
+
+  Bytes probe_bytes() const {
+    net::Probe probe;
+    probe.data_id = id();
+    probe.challenge = 0x1122334455667788ULL;
+    return probe.encode();
+  }
+};
+
+TEST(Paai2Report, PlaintextLayoutAndSize) {
+  Fixture f;
+  const Bytes probe = f.probe_bytes();
+  const crypto::Mac ad =
+      f.crypto->mac(f.keys.node_key(6), ByteView(f.id().data(), 16));
+
+  const Bytes with_ad = paai2_report_plaintext(
+      *f.crypto, f.keys.node_key(3), 3, ByteView(probe.data(), probe.size()),
+      &ad);
+  const Bytes without_ad = paai2_report_plaintext(
+      *f.crypto, f.keys.node_key(3), 3, ByteView(probe.data(), probe.size()),
+      nullptr);
+
+  ASSERT_EQ(with_ad.size(), kPaai2ReportSize);
+  ASSERT_EQ(without_ad.size(), kPaai2ReportSize);
+  // The authenticator part is identical regardless of a_d (that's the
+  // security fix: an unauthenticated a_d copy cannot poison the MAC).
+  EXPECT_TRUE(std::equal(with_ad.begin(), with_ad.begin() + crypto::kMacSize,
+                         without_ad.begin()));
+  EXPECT_EQ(with_ad[crypto::kMacSize], 1);
+  EXPECT_EQ(without_ad[crypto::kMacSize], 0);
+  // The flag+tag differ.
+  EXPECT_NE(with_ad, without_ad);
+
+  // The MAC part matches the standalone tag helper.
+  const crypto::Mac tag = paai2_report_tag(*f.crypto, f.keys.node_key(3), 3,
+                                           ByteView(probe.data(), probe.size()));
+  EXPECT_TRUE(std::equal(tag.begin(), tag.end(), with_ad.begin()));
+}
+
+TEST(Paai2Report, TagBindsIndexAndProbe) {
+  Fixture f;
+  const Bytes probe = f.probe_bytes();
+  const crypto::Mac t3 = paai2_report_tag(*f.crypto, f.keys.node_key(3), 3,
+                                          ByteView(probe.data(), probe.size()));
+  const crypto::Mac t4 = paai2_report_tag(*f.crypto, f.keys.node_key(3), 4,
+                                          ByteView(probe.data(), probe.size()));
+  EXPECT_NE(t3, t4);
+
+  Bytes other_probe = probe;
+  other_probe.back() ^= 1;
+  const crypto::Mac t3b = paai2_report_tag(
+      *f.crypto, f.keys.node_key(3), 3,
+      ByteView(other_probe.data(), other_probe.size()));
+  EXPECT_NE(t3, t3b);
+}
+
+TEST(Paai2Report, LayeredEncryptionPeelsInOrder) {
+  Fixture f;
+  const Bytes probe = f.probe_bytes();
+  const net::PacketId id = f.id();
+  const std::size_t e = 4;
+
+  // F_4 originates; F_3, F_2, F_1 re-encrypt.
+  Bytes report = paai2_report_plaintext(*f.crypto, f.keys.node_key(e), e,
+                                        ByteView(probe.data(), probe.size()),
+                                        nullptr);
+  Bytes cipher = f.crypto->encrypt(f.keys.node_key(e),
+                                   paai2_layer_nonce(id, e),
+                                   ByteView(report.data(), report.size()));
+  for (std::size_t j = e; j-- > 1;) {
+    cipher = f.crypto->encrypt(f.keys.node_key(j), paai2_layer_nonce(id, j),
+                               ByteView(cipher.data(), cipher.size()));
+  }
+  EXPECT_EQ(cipher.size(), kPaai2ReportSize);  // constant size at any hop
+
+  // Source peels K_1..K_e.
+  Bytes cur = cipher;
+  for (std::size_t j = 1; j <= e; ++j) {
+    cur = f.crypto->decrypt(f.keys.node_key(j), paai2_layer_nonce(id, j),
+                            ByteView(cur.data(), cur.size()));
+  }
+  EXPECT_EQ(cur, report);
+
+  // Peeling one layer too many or too few yields garbage, not the tag.
+  Bytes under = cipher;
+  for (std::size_t j = 1; j <= e - 1; ++j) {
+    under = f.crypto->decrypt(f.keys.node_key(j), paai2_layer_nonce(id, j),
+                              ByteView(under.data(), under.size()));
+  }
+  EXPECT_NE(under, report);
+}
+
+TEST(Paai2Report, NonceSeparatesNodesAndPackets) {
+  net::PacketId a{}, b{};
+  b[0] = 1;
+  std::set<std::uint64_t> nonces;
+  for (std::size_t i = 1; i <= 6; ++i) {
+    nonces.insert(paai2_layer_nonce(a, i));
+    nonces.insert(paai2_layer_nonce(b, i));
+  }
+  EXPECT_EQ(nonces.size(), 12u);
+}
+
+// Obliviousness on the wire: for two different selected nodes, the report
+// a given upstream relay forwards is a same-length pseudorandom blob; no
+// per-hop length or structure leaks the selection.
+TEST(Paai2Obliviousness, ConstantSizeAcrossSelections) {
+  Fixture f;
+  const net::PacketId id = f.id();
+  for (std::size_t e = 1; e <= f.d; ++e) {
+    const Bytes probe = f.probe_bytes();
+    Bytes report = paai2_report_plaintext(*f.crypto, f.keys.node_key(e), e,
+                                          ByteView(probe.data(), probe.size()),
+                                          nullptr);
+    Bytes cipher = f.crypto->encrypt(f.keys.node_key(e),
+                                     paai2_layer_nonce(id, e),
+                                     ByteView(report.data(), report.size()));
+    for (std::size_t j = e; j-- > 1;) {
+      cipher = f.crypto->encrypt(f.keys.node_key(j), paai2_layer_nonce(id, j),
+                                 ByteView(cipher.data(), cipher.size()));
+    }
+    EXPECT_EQ(cipher.size(), kPaai2ReportSize) << "selection " << e;
+  }
+}
+
+// The selection predicate is deterministic per (key, challenge) — relays
+// and source always agree — but varies across challenges.
+TEST(Paai2Selection, DeterministicAndChallengeSensitive) {
+  Fixture f;
+  std::vector<crypto::Key> keys(f.d + 1);
+  for (std::size_t i = 1; i <= f.d; ++i) keys[i] = f.keys.node_key(i);
+
+  const Bytes c1 = f.probe_bytes();
+  const std::size_t e1 = crypto::selected_node(
+      *f.crypto, keys, ByteView(c1.data(), c1.size()), f.d);
+  const std::size_t e1_again = crypto::selected_node(
+      *f.crypto, keys, ByteView(c1.data(), c1.size()), f.d);
+  EXPECT_EQ(e1, e1_again);
+
+  // Across many challenges, every node gets selected at least once.
+  std::set<std::size_t> seen;
+  for (std::uint64_t z = 0; z < 200; ++z) {
+    net::Probe probe;
+    probe.data_id = f.id();
+    probe.challenge = z * 0x9e3779b97f4a7c15ULL + 1;
+    const Bytes pb = probe.encode();
+    seen.insert(crypto::selected_node(*f.crypto, keys,
+                                      ByteView(pb.data(), pb.size()), f.d));
+  }
+  EXPECT_EQ(seen.size(), f.d);
+}
+
+// Consistency between the per-node predicate and the source-side selected
+// node computation (the first firing predicate is the selection).
+TEST(Paai2Selection, PredicateMatchesSelectedNode) {
+  Fixture f;
+  std::vector<crypto::Key> keys(f.d + 1);
+  for (std::size_t i = 1; i <= f.d; ++i) keys[i] = f.keys.node_key(i);
+
+  for (std::uint64_t z = 0; z < 100; ++z) {
+    net::Probe probe;
+    probe.data_id = f.id();
+    probe.challenge = z;
+    const Bytes pb = probe.encode();
+    const ByteView challenge(pb.data(), pb.size());
+    const std::size_t e =
+        crypto::selected_node(*f.crypto, keys, challenge, f.d);
+    for (std::size_t i = 1; i < e; ++i) {
+      EXPECT_FALSE(crypto::selection_predicate(*f.crypto, keys[i], challenge,
+                                               i, f.d));
+    }
+    EXPECT_TRUE(crypto::selection_predicate(*f.crypto, keys[e], challenge, e,
+                                            f.d));
+  }
+}
+
+}  // namespace
+}  // namespace paai::protocols

@@ -1,0 +1,111 @@
+// Runner tests: checkpointing, Monte-Carlo aggregation (FP/FN accounting,
+// detection point), storage sampling, bypass behaviour, overhead capture.
+#include <gtest/gtest.h>
+
+#include "runner/montecarlo.h"
+
+namespace paai::runner {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(LogCheckpoints, CoversRangeAndDedupes) {
+  const auto cps = log_checkpoints(100, 10000, 9);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_EQ(cps.front(), 100u);
+  EXPECT_EQ(cps.back(), 10000u);
+  for (std::size_t i = 1; i < cps.size(); ++i) EXPECT_GT(cps[i], cps[i - 1]);
+}
+
+TEST(Experiment, CheckpointsSnapshotConvictions) {
+  ExperimentConfig cfg = paper_config(ProtocolKind::kFullAck, 3000, 5);
+  cfg.checkpoints = {200, 1000, 3000};
+  const ExperimentResult result = run_experiment(cfg);
+  ASSERT_EQ(result.checkpoints.size(), 3u);
+  EXPECT_EQ(result.checkpoints[0].packets, 200u);
+  EXPECT_EQ(result.checkpoints[2].packets, 3000u);
+  // By packet 3000 full-ack has converged on l_4.
+  EXPECT_EQ(result.checkpoints[2].convicted, std::vector<std::size_t>{4});
+}
+
+TEST(Experiment, StorageSamplingProducesSeries) {
+  ExperimentConfig cfg = paper_config(ProtocolKind::kFullAck, 500, 6);
+  cfg.params.send_rate_pps = 1000.0;
+  cfg.storage_sample_period = sim::milliseconds(5.0);
+  const ExperimentResult result = run_experiment(cfg);
+  ASSERT_EQ(result.storage.size(), 7u);
+  EXPECT_FALSE(result.storage[1].empty());
+  // F_1 must hold some state while traffic flows.
+  double peak = 0.0;
+  for (const auto& pt : result.storage[1].points()) {
+    peak = std::max(peak, pt.value);
+  }
+  EXPECT_GT(peak, 0.0);
+}
+
+TEST(Experiment, BypassRestoresLinkAndDropsStop) {
+  // With the fault bypassed halfway, the final theta estimate for l_4
+  // lands between rho and the full malicious rate.
+  ExperimentConfig with_bypass =
+      paper_config(ProtocolKind::kFullAck, 4000, 7);
+  with_bypass.bypass_after_packets = 2000;
+  ExperimentConfig without = paper_config(ProtocolKind::kFullAck, 4000, 7);
+
+  const ExperimentResult a = run_experiment(with_bypass);
+  const ExperimentResult b = run_experiment(without);
+  EXPECT_LT(a.final_thetas[4], b.final_thetas[4] * 0.8);
+  EXPECT_GT(a.final_thetas[4], 0.01);
+}
+
+TEST(Experiment, OverheadCapturedPerProtocol) {
+  // Full-ack: ~1 control packet per data packet (plus onions on loss);
+  // PAAI-1: ~p * 2 control packets per data packet. Byte ratios follow.
+  ExperimentConfig fa = paper_config(ProtocolKind::kFullAck, 2000, 8);
+  ExperimentConfig p1 = paper_config(ProtocolKind::kPaai1, 2000, 8);
+  const ExperimentResult ra = run_experiment(fa);
+  const ExperimentResult rp = run_experiment(p1);
+  EXPECT_GT(ra.overhead_packets_ratio, 0.9);
+  EXPECT_LT(rp.overhead_packets_ratio, 0.1);
+  EXPECT_GT(ra.overhead_bytes_ratio, 5.0 * rp.overhead_bytes_ratio);
+}
+
+TEST(MonteCarlo, AggregatesFpFnAndDetects) {
+  MonteCarloConfig mc;
+  mc.base = paper_config(ProtocolKind::kFullAck, 3000, 0);
+  mc.base.checkpoints = log_checkpoints(100, 3000, 8);
+  mc.runs = 20;
+  mc.seed0 = 400;
+  mc.malicious_links = {4};
+  mc.sigma = 0.05;
+
+  const MonteCarloResult result = run_monte_carlo(mc);
+  ASSERT_EQ(result.curve.size(), mc.base.checkpoints.size());
+  // Early checkpoints are noisy; the last one must be converged.
+  EXPECT_LE(result.curve.back().fp, 0.05);
+  EXPECT_LE(result.curve.back().fn, 0.05);
+  ASSERT_TRUE(result.detection_packets.has_value());
+  EXPECT_LE(*result.detection_packets, 3000u);
+  EXPECT_GT(result.per_run_detection_packets.count(), 15u);
+  // theta for the malicious link concentrates near 0.03.
+  EXPECT_NEAR(result.final_thetas[4].mean(), 0.0298, 0.006);
+  EXPECT_NEAR(result.final_thetas[1].mean(), 0.0099, 0.004);
+}
+
+TEST(MonteCarlo, StorageGridsAggregate) {
+  MonteCarloConfig mc;
+  mc.base = paper_config(ProtocolKind::kPaai1, 400, 0);
+  mc.base.params.send_rate_pps = 1000.0;
+  mc.base.storage_sample_period = sim::milliseconds(2.0);
+  mc.runs = 5;
+  mc.storage_bins = 20;
+  mc.storage_horizon_seconds = 0.5;
+
+  const MonteCarloResult result = run_monte_carlo(mc);
+  ASSERT_EQ(result.storage_grids.size(), 7u);
+  double mean_mid = result.storage_grids[1].stat(10).mean();
+  EXPECT_GT(mean_mid, 0.0);
+  EXPECT_EQ(result.storage_grids[1].stat(10).count(), 5u);
+}
+
+}  // namespace
+}  // namespace paai::runner

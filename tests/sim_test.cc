@@ -1,0 +1,242 @@
+// Simulator-core tests: event ordering and determinism, link loss and
+// latency behaviour, path construction, RTT-bound nesting (the property
+// the protocol wait-timer cascade relies on), storage metering, and
+// traffic accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/storage.h"
+#include "sim/trace.h"
+
+namespace paai::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, TieBreakIsSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.at(10, [&] {
+    times.push_back(sim.now());
+    sim.after(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.at(100, [&] {
+    sim.at(50, [&] { fired = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulator, RunUntilStopsBeforeBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(StorageMeter, TracksCurrentAndPeak) {
+  StorageMeter m;
+  m.add(3);
+  m.add();
+  EXPECT_EQ(m.current(), 4u);
+  EXPECT_EQ(m.peak(), 4u);
+  m.remove(2);
+  EXPECT_EQ(m.current(), 2u);
+  EXPECT_EQ(m.peak(), 4u);
+  m.remove(10);  // saturates at zero
+  EXPECT_EQ(m.current(), 0u);
+}
+
+TEST(TrafficCounters, AggregatesByTypeAndOverhead) {
+  TrafficCounters c(3);
+  c.on_transmit(net::PacketType::kData, 1000, 0);
+  c.on_transmit(net::PacketType::kData, 1000, 1);
+  c.on_transmit(net::PacketType::kDestAck, 25, 1);
+  c.on_transmit(net::PacketType::kProbe, 25, 2);
+  c.on_link_drop(1, net::PacketType::kData);
+  EXPECT_EQ(c.by_type(net::PacketType::kData).packets, 2u);
+  EXPECT_EQ(c.by_type(net::PacketType::kDestAck).bytes, 25u);
+  EXPECT_DOUBLE_EQ(c.overhead_ratio(), 50.0 / 2000.0);
+  EXPECT_DOUBLE_EQ(c.control_packets_per_data(), 1.0);
+  EXPECT_EQ(c.drops_on_link(1), 1u);
+  EXPECT_EQ(c.drops_on_link(0), 0u);
+  EXPECT_EQ(c.data_tx(1), 1u);
+  EXPECT_EQ(c.data_drops(1), 1u);
+  EXPECT_DOUBLE_EQ(c.true_link_loss(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.true_link_loss(0), 0.0);
+  EXPECT_EQ(c.total_packets(), 4u);
+  c.reset();
+  EXPECT_EQ(c.total_packets(), 0u);
+  EXPECT_EQ(c.data_tx(1), 0u);
+}
+
+class CountingAgent final : public Agent {
+ public:
+  void on_packet(const PacketEnv& env) override {
+    ++received;
+    last_size = env.wire_size;
+  }
+  int received = 0;
+  std::size_t last_size = 0;
+};
+
+PacketEnv make_env(Direction dir) {
+  net::DataPacket pkt{1, 2, 100};
+  auto wire = std::make_shared<const Bytes>(pkt.encode());
+  return PacketEnv{wire, pkt.wire_size(), dir};
+}
+
+TEST(Link, DeliversAfterLatencyWithoutLoss) {
+  Simulator sim;
+  TrafficCounters counters(1);
+  Node a(sim, 0), b(sim, 1);
+  Link link(sim, 0, /*loss=*/0.0, milliseconds(3.0), Rng(1), &counters);
+  link.connect(&a, &b);
+  a.set_link_toward_dest(&link);
+  b.set_link_toward_source(&link);
+  auto agent = std::make_unique<CountingAgent>();
+  CountingAgent* bp = agent.get();
+  b.attach_agent(std::move(agent));
+
+  a.originate(Direction::kToDest, make_env(Direction::kToDest).wire, 119);
+  sim.run();
+  EXPECT_EQ(bp->received, 1);
+  EXPECT_EQ(bp->last_size, 119u);
+  EXPECT_EQ(sim.now(), milliseconds(3.0));
+  EXPECT_EQ(counters.by_type(net::PacketType::kData).packets, 1u);
+}
+
+TEST(Link, EmpiricalLossRateMatchesConfig) {
+  Simulator sim;
+  TrafficCounters counters(1);
+  Node a(sim, 0), b(sim, 1);
+  Link link(sim, 0, /*loss=*/0.1, 0, Rng(99), &counters);
+  link.connect(&a, &b);
+  auto agent = std::make_unique<CountingAgent>();
+  CountingAgent* bp = agent.get();
+  b.attach_agent(std::move(agent));
+
+  const int n = 20000;
+  const auto env = make_env(Direction::kToDest);
+  for (int i = 0; i < n; ++i) link.transmit(env);
+  sim.run();
+  const double delivered = static_cast<double>(bp->received) / n;
+  EXPECT_NEAR(delivered, 0.9, 0.01);
+  EXPECT_EQ(counters.drops_on_link(0) + bp->received,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(PathNetwork, BuildsChainAndValidates) {
+  Simulator sim;
+  PathConfig cfg;
+  cfg.length = 6;
+  cfg.seed = 3;
+  PathNetwork net(sim, cfg);
+  EXPECT_EQ(net.length(), 6u);
+  EXPECT_EQ(net.source().index(), 0u);
+  EXPECT_EQ(net.destination().index(), 6u);
+  EXPECT_EQ(net.node(3).link_toward_dest(), &net.link(3));
+  EXPECT_EQ(net.node(3).link_toward_source(), &net.link(2));
+  EXPECT_EQ(net.source().link_toward_source(), nullptr);
+  EXPECT_EQ(net.destination().link_toward_dest(), nullptr);
+
+  PathConfig bad;
+  bad.length = 1;
+  EXPECT_THROW(PathNetwork(sim, bad), std::invalid_argument);
+}
+
+TEST(PathNetwork, LatenciesWithinConfiguredRange) {
+  Simulator sim;
+  PathConfig cfg;
+  cfg.length = 6;
+  cfg.min_latency_ms = 0.0;
+  cfg.max_latency_ms = 5.0;
+  cfg.seed = 11;
+  PathNetwork net(sim, cfg);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(net.link(i).latency(), 0);
+    EXPECT_LE(net.link(i).latency(), milliseconds(5.0));
+  }
+}
+
+TEST(PathNetwork, RttBoundsNestStrictly) {
+  // r_i > r_{i+1} + 2 * latency(l_i): the wait-timer cascade property —
+  // a downstream node's timed-out report always beats its upstream
+  // neighbour's own deadline.
+  Simulator sim;
+  PathConfig cfg;
+  cfg.length = 8;
+  cfg.seed = 17;
+  PathNetwork net(sim, cfg);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GT(net.rtt_bound(i),
+              net.rtt_bound(i + 1) + 2 * net.link(i).latency())
+        << "at node " << i;
+  }
+  EXPECT_EQ(net.rtt_bound(8), 0);
+  EXPECT_THROW(net.rtt_bound(9), std::out_of_range);
+}
+
+TEST(PathNetwork, ClockOffsetsWithinSyncBound) {
+  Simulator sim;
+  PathConfig cfg;
+  cfg.length = 6;
+  cfg.max_clock_error_ms = 2.0;
+  cfg.seed = 23;
+  PathNetwork net(sim, cfg);
+  for (std::size_t i = 0; i <= 6; ++i) {
+    const SimTime local = net.node(i).local_now();
+    EXPECT_LE(std::abs(local - sim.now()), milliseconds(2.0));
+  }
+}
+
+TEST(PathNetwork, DeterministicForSeed) {
+  Simulator s1, s2;
+  PathConfig cfg;
+  cfg.length = 6;
+  cfg.seed = 5;
+  PathNetwork a(s1, cfg), b(s2, cfg);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.link(i).latency(), b.link(i).latency());
+  }
+}
+
+}  // namespace
+}  // namespace paai::sim

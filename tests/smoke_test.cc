@@ -1,0 +1,43 @@
+// End-to-end smoke tests: each protocol runs on the paper's reference path
+// (d = 6, rho = 0.01, malicious F_4 at 0.02) and must localize link l_4;
+// on a clean path nothing may be convicted.
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+
+namespace paai::runner {
+namespace {
+
+using protocols::ProtocolKind;
+
+TEST(Smoke, FullAckLocalizesMaliciousLink) {
+  ExperimentConfig cfg = paper_config(ProtocolKind::kFullAck, 4000, 42);
+  const ExperimentResult result = run_experiment(cfg);
+  EXPECT_EQ(result.packets_sent, 4000u);
+  EXPECT_GT(result.observations, 3900u);
+  EXPECT_EQ(result.final_convicted, std::vector<std::size_t>{4});
+}
+
+TEST(Smoke, FullAckCleanPathConvictsNothing) {
+  ExperimentConfig cfg = paper_config(ProtocolKind::kFullAck, 4000, 43);
+  cfg.adversaries.clear();
+  cfg.link_faults.clear();
+  const ExperimentResult result = run_experiment(cfg);
+  EXPECT_TRUE(result.final_convicted.empty());
+  EXPECT_LT(result.observed_e2e_rate, 0.15);
+}
+
+TEST(Smoke, Paai1LocalizesMaliciousLink) {
+  ExperimentConfig cfg = paper_config(ProtocolKind::kPaai1, 60000, 44);
+  const ExperimentResult result = run_experiment(cfg);
+  EXPECT_EQ(result.final_convicted, std::vector<std::size_t>{4});
+}
+
+TEST(Smoke, Paai2LocalizesMaliciousLink) {
+  ExperimentConfig cfg = paper_config(ProtocolKind::kPaai2, 400000, 45);
+  const ExperimentResult result = run_experiment(cfg);
+  EXPECT_EQ(result.final_convicted, std::vector<std::size_t>{4});
+}
+
+}  // namespace
+}  // namespace paai::runner

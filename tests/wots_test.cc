@@ -1,0 +1,110 @@
+// W-OTS signature tests and the signature-ack protocol end-to-end.
+#include <gtest/gtest.h>
+
+#include "crypto/wots.h"
+#include "runner/experiment.h"
+
+namespace paai::crypto {
+namespace {
+
+TEST(Wots, SignVerifyRoundTrip) {
+  const Key seed = test_master_key(1);
+  const Bytes msg = bytes_of("packet 42 arrived intact");
+  const WotsPublicKey pk = wots_public_key(seed, 42);
+  const Bytes sig = wots_sign(seed, 42, ByteView(msg.data(), msg.size()));
+  ASSERT_EQ(sig.size(), kWotsSignatureSize);
+  EXPECT_TRUE(wots_verify(pk, ByteView(msg.data(), msg.size()),
+                          ByteView(sig.data(), sig.size())));
+}
+
+TEST(Wots, RejectsTamperedMessageAndSignature) {
+  const Key seed = test_master_key(2);
+  const Bytes msg = bytes_of("original message");
+  const WotsPublicKey pk = wots_public_key(seed, 7);
+  const Bytes sig = wots_sign(seed, 7, ByteView(msg.data(), msg.size()));
+
+  Bytes other = msg;
+  other.back() ^= 1;
+  EXPECT_FALSE(wots_verify(pk, ByteView(other.data(), other.size()),
+                           ByteView(sig.data(), sig.size())));
+
+  Bytes bad_sig = sig;
+  bad_sig[100] ^= 1;
+  EXPECT_FALSE(wots_verify(pk, ByteView(msg.data(), msg.size()),
+                           ByteView(bad_sig.data(), bad_sig.size())));
+
+  EXPECT_FALSE(wots_verify(pk, ByteView(msg.data(), msg.size()),
+                           ByteView(sig.data(), sig.size() - 1)));
+}
+
+TEST(Wots, KeysSeparateByIndexAndSeed) {
+  const Key seed = test_master_key(3);
+  EXPECT_NE(wots_public_key(seed, 0), wots_public_key(seed, 1));
+  EXPECT_NE(wots_public_key(seed, 0),
+            wots_public_key(test_master_key(4), 0));
+
+  // A signature under index 0 must not verify under index 1's key.
+  const Bytes msg = bytes_of("m");
+  const Bytes sig = wots_sign(seed, 0, ByteView(msg.data(), msg.size()));
+  EXPECT_FALSE(wots_verify(wots_public_key(seed, 1),
+                           ByteView(msg.data(), msg.size()),
+                           ByteView(sig.data(), sig.size())));
+}
+
+TEST(Wots, ChecksumPreventsTrivialDigitIncrease) {
+  // The W-OTS checksum makes it impossible to forge by advancing chains:
+  // increasing a message digit requires *decreasing* a checksum digit,
+  // which would require inverting the hash chain. We spot-check that two
+  // different messages never yield digit vectors where one dominates the
+  // other (the classic broken-without-checksum case is common otherwise).
+  const Key seed = test_master_key(5);
+  const Bytes m1 = bytes_of("message one");
+  const Bytes m2 = bytes_of("message two");
+  const Bytes s1 = wots_sign(seed, 9, ByteView(m1.data(), m1.size()));
+  const WotsPublicKey pk = wots_public_key(seed, 9);
+  // Cross-verification must fail.
+  EXPECT_FALSE(wots_verify(pk, ByteView(m2.data(), m2.size()),
+                           ByteView(s1.data(), s1.size())));
+}
+
+}  // namespace
+}  // namespace paai::crypto
+
+namespace paai::runner {
+namespace {
+
+TEST(SigAck, LocalizesMaliciousLinkEndToEnd) {
+  ExperimentConfig cfg = paper_config(protocols::ProtocolKind::kSigAck,
+                                      2500, 61);
+  cfg.params.send_rate_pps = 500.0;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.final_convicted, std::vector<std::size_t>{4});
+}
+
+TEST(SigAck, CommunicationOverheadIsEnormous) {
+  // The point of footnote 1, measured: per-packet signed acks cost more
+  // bytes than the data they protect.
+  ExperimentConfig cfg = paper_config(protocols::ProtocolKind::kSigAck,
+                                      1500, 62);
+  cfg.params.send_rate_pps = 500.0;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.overhead_bytes_ratio, 1.0);
+
+  ExperimentConfig mac_cfg = paper_config(protocols::ProtocolKind::kFullAck,
+                                          1500, 62);
+  mac_cfg.params.send_rate_pps = 500.0;
+  const ExperimentResult mac = run_experiment(mac_cfg);
+  EXPECT_GT(r.overhead_bytes_ratio, 20.0 * mac.overhead_bytes_ratio);
+}
+
+TEST(SigAck, CleanPathConvictsNothing) {
+  ExperimentConfig cfg = paper_config(protocols::ProtocolKind::kSigAck,
+                                      2000, 63);
+  cfg.link_faults.clear();
+  cfg.params.send_rate_pps = 500.0;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.final_convicted.empty());
+}
+
+}  // namespace
+}  // namespace paai::runner
