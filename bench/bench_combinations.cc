@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[comb] %s: %zu x %llu...\n", plan.name, plan.runs,
                  static_cast<unsigned long long>(plan.packets));
     const auto mc = bench::detection_curve(plan.kind, plan.packets,
-                                           plan.runs, 12, 2000);
+                                           plan.runs, 12, 2000, args.jobs);
 
     // Storage probe (short run).
     MonteCarloConfig smc;
@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
     smc.base.storage_sample_period = sim::milliseconds(10.0);
     smc.runs = 5;
     smc.seed0 = 100;
+    smc.jobs = args.jobs;
     smc.storage_bins = 30;
     smc.storage_horizon_seconds = 60.0;
     const auto st = run_monte_carlo(smc);

@@ -5,6 +5,9 @@
 //                  10000 — defaults here are sized for a single core, and
 //                  the curves are already stable
 //   --scale=X      multiply default packet budgets (env PAAI_SCALE)
+//   --jobs=N       worker threads for the Monte-Carlo fan-out (also env
+//                  PAAI_JOBS); default 0 = hardware concurrency. Results
+//                  are bit-identical for any value.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +23,7 @@ struct BenchArgs {
   bool csv = false;
   long long runs = 0;      // 0 = per-bench default
   double scale = 1.0;
+  std::size_t jobs = 0;    // 0 = hardware concurrency
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -28,6 +32,8 @@ struct BenchArgs {
     args.scale = static_cast<double>(
                      flag_or_env(argc, argv, "--scale", "PAAI_SCALE", 100)) /
                  100.0;
+    const long long jobs = flag_or_env(argc, argv, "--jobs", "PAAI_JOBS", 0);
+    args.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
     return args;
   }
 
@@ -40,6 +46,17 @@ struct BenchArgs {
   }
 };
 
+/// One-line execution summary for stderr: resolved jobs, wall time, mean
+/// per-run time, pool utilization.
+inline void print_exec_summary(const exec::ExecTelemetry& t) {
+  std::fprintf(stderr,
+               "[exec] jobs=%zu wall=%.2fs runs=%zu mean_run=%.0fms "
+               "mean_queue_wait=%.0fms utilization=%.0f%%\n",
+               t.jobs, t.wall_seconds, t.task_seconds.count(),
+               t.task_seconds.mean() * 1e3,
+               t.queue_wait_seconds.mean() * 1e3, t.utilization() * 100.0);
+}
+
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n(reproduces %s; see EXPERIMENTS.md for the "
               "paper-vs-measured record)\n\n",
@@ -50,7 +67,8 @@ inline void print_header(const char* title, const char* paper_ref) {
 /// log-spaced checkpoint grid; returns the MC result.
 inline runner::MonteCarloResult detection_curve(
     protocols::ProtocolKind kind, std::uint64_t packets, std::size_t runs,
-    std::size_t grid_points = 16, std::uint64_t first_checkpoint = 100) {
+    std::size_t grid_points = 16, std::uint64_t first_checkpoint = 100,
+    std::size_t jobs = 0) {
   runner::MonteCarloConfig mc;
   mc.base = runner::paper_config(kind, packets, 0);
   mc.base.checkpoints =
@@ -59,6 +77,7 @@ inline runner::MonteCarloResult detection_curve(
   mc.seed0 = 1000;
   mc.malicious_links = {4};
   mc.sigma = 0.03;
+  mc.jobs = jobs;
   return runner::run_monte_carlo(mc);
 }
 

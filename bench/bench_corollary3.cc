@@ -17,8 +17,9 @@ namespace {
 
 std::optional<std::uint64_t> measure_detection(
     protocols::ProtocolKind kind, std::size_t d, double rho,
-    std::uint64_t packets, std::size_t runs) {
+    std::uint64_t packets, std::size_t runs, std::size_t jobs) {
   MonteCarloConfig mc;
+  mc.jobs = jobs;
   mc.base = paper_config(kind, packets, 0);
   mc.base.path.length = d;
   mc.base.path.natural_loss = rho;
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[cor3] PAAI-1 d=%zu rho=%.3f...\n", d, rho);
       const auto measured = measure_detection(
           protocols::ProtocolKind::kPaai1, d, rho, args.scaled(140000),
-          runs1);
+          runs1, args.jobs);
       p1.row()
           .integer(static_cast<long long>(d))
           .num(rho, 3)
@@ -103,7 +104,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[cor3] PAAI-2 d=%zu...\n", d);
     const auto measured = measure_detection(
         protocols::ProtocolKind::kPaai2, d, 0.01,
-        args.scaled(d <= 6 ? 600000 : 1200000), runs2);
+        args.scaled(d <= 6 ? 600000 : 1200000), runs2, args.jobs);
     p2.row()
         .integer(static_cast<long long>(d))
         .cell(fmt_detection(measured))

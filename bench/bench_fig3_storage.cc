@@ -21,7 +21,8 @@ struct Column {
   std::uint64_t bypass_after;  // 0 = w/o AAI
 };
 
-void run_rate(double rate_pps, std::size_t runs, bool csv) {
+void run_rate(double rate_pps, std::size_t runs, bool csv,
+              std::size_t jobs) {
   const std::uint64_t packets = 2000;
   const double horizon =
       static_cast<double>(packets) / rate_pps * 1.1;
@@ -43,6 +44,7 @@ void run_rate(double rate_pps, std::size_t runs, bool csv) {
     mc.base.bypass_after_packets = col.bypass_after;
     mc.runs = runs;
     mc.seed0 = 3000;
+    mc.jobs = jobs;
     mc.storage_bins = 40;
     mc.storage_horizon_seconds = horizon;
     std::fprintf(stderr, "[fig3] %s @%g pps...\n", col.label, rate_pps);
@@ -68,8 +70,8 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 3(a)/(b) — storage overhead of F_1",
                       "Figures 3(a) (1000 pkt/s) and 3(b) (100 pkt/s)");
   const std::size_t runs = args.runs_or(30);
-  run_rate(1000.0, runs, args.csv);
-  run_rate(100.0, runs, args.csv);
+  run_rate(1000.0, runs, args.csv, args.jobs);
+  run_rate(100.0, runs, args.csv, args.jobs);
   std::printf("\npaper's qualitative claims to check: storage scales "
               "~linearly with the sending rate; PAAI-1 holds the least "
               "state w/o AAI; full-ack w/ AAI drops to the lowest level "

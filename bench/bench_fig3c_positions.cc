@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   mc.base.storage_sample_period = sim::milliseconds(1.0);
   mc.runs = runs;
   mc.seed0 = 5000;
+  mc.jobs = args.jobs;
   mc.storage_bins = 50;
   mc.storage_horizon_seconds = 2.2;
 

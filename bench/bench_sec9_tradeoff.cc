@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   mc.base.checkpoints = log_checkpoints(5000, packets, 14);
   mc.runs = runs;
   mc.seed0 = 1000;
+  mc.jobs = args.jobs;
   std::fprintf(stderr, "[sec9] detection run: %zu x %llu packets...\n",
                runs, static_cast<unsigned long long>(packets));
   const MonteCarloResult det = run_monte_carlo(mc);
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
     smc.base.storage_sample_period = sim::milliseconds(1000.0 / rate);
     smc.runs = std::max<std::size_t>(runs / 4, 4);
     smc.seed0 = 8000;
+    smc.jobs = args.jobs;
     smc.storage_bins = 40;
     smc.storage_horizon_seconds = 4000.0 / rate;
     std::fprintf(stderr, "[sec9] storage run @%g pps...\n", rate);

@@ -30,12 +30,13 @@ struct ProtocolPlan {
 };
 
 double average_storage_at_f1(protocols::ProtocolKind kind, std::size_t runs,
-                             std::uint64_t packets) {
+                             std::uint64_t packets, std::size_t jobs) {
   MonteCarloConfig mc;
   mc.base = paper_config(kind, packets, 0);
   mc.base.storage_sample_period = sim::milliseconds(5.0);
   mc.runs = runs;
   mc.seed0 = 7000;
+  mc.jobs = jobs;
   mc.storage_bins = 40;
   mc.storage_horizon_seconds =
       static_cast<double>(packets) / mc.base.params.send_rate_pps;
@@ -88,8 +89,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[table2] %s: %zu runs x %llu packets...\n",
                  plan.name, plan.runs,
                  static_cast<unsigned long long>(plan.packets));
-    const auto mc =
-        bench::detection_curve(plan.kind, plan.packets, plan.runs, 14);
+    const auto mc = bench::detection_curve(plan.kind, plan.packets, plan.runs,
+                                           14, 100, args.jobs);
+    bench::print_exec_summary(mc.exec);
     const double bound_min = analysis::detection_minutes(plan.bound_packets,
                                                          100.0);
     const double curve_min =
@@ -102,7 +104,7 @@ int main(int argc, char** argv) {
 
     const double storage_avg = average_storage_at_f1(
         plan.kind, std::max<std::size_t>(plan.runs / 4, 3),
-        std::min<std::uint64_t>(plan.packets, 20000));
+        std::min<std::uint64_t>(plan.packets, 20000), args.jobs);
 
     table.row()
         .cell(plan.name)

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
                                           12);
     mc.runs = runs;
     mc.seed0 = 1000;
+    mc.jobs = args.jobs;
     mc.malicious_links = {4};
     const MonteCarloResult agg = run_monte_carlo(mc);
 
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
       FleetConfig cfg;
       cfg.base = paper_config(protocols::ProtocolKind::kPaai1,
                               args.scaled(60000), 0);
+      cfg.jobs = args.jobs;
       cfg.base.link_faults.clear();
       if (is_spread) {
         cfg.paths = {{LinkFault{4, rate}},

@@ -27,7 +27,9 @@ inline int run_fig2(int argc, char** argv, protocols::ProtocolKind kind,
               protocols::protocol_name(kind), runs,
               static_cast<unsigned long long>(packets));
 
-  const auto mc = detection_curve(kind, packets, runs, 18, first_checkpoint);
+  const auto mc =
+      detection_curve(kind, packets, runs, 18, first_checkpoint, args.jobs);
+  print_exec_summary(mc.exec);
 
   Table table({"packets_sent", "false_positive", "false_negative",
                "fp_ci95", "fn_ci95"});

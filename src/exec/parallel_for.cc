@@ -1,0 +1,78 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "exec/thread_pool.h"
+
+namespace paai::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  return jobs == 0 ? ThreadPool::hardware_jobs() : jobs;
+}
+
+ExecTelemetry parallel_for_each(std::size_t count,
+                                const std::function<void(std::size_t)>& fn,
+                                std::size_t jobs) {
+  ExecTelemetry telemetry;
+  jobs = std::min(resolve_jobs(jobs), std::max<std::size_t>(count, 1));
+  telemetry.jobs = jobs;
+  const Clock::time_point section_start = Clock::now();
+
+  if (jobs == 1) {
+    // Inline path: the serial loop naturally cancels everything after a
+    // throwing item, matching the pool path's semantics.
+    for (std::size_t i = 0; i < count; ++i) {
+      const Clock::time_point start = Clock::now();
+      fn(i);
+      telemetry.task_seconds.add(seconds_between(start, Clock::now()));
+      telemetry.queue_wait_seconds.add(0.0);
+    }
+    telemetry.wall_seconds = seconds_between(section_start, Clock::now());
+    return telemetry;
+  }
+
+  std::mutex state_mutex;  // guards telemetry stats and first_error
+  std::exception_ptr first_error;
+  std::atomic<bool> cancelled{false};
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Clock::time_point submitted = Clock::now();
+      pool.submit([&, i, submitted] {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        const Clock::time_point start = Clock::now();
+        try {
+          fn(i);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(state_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+        const Clock::time_point end = Clock::now();
+        std::lock_guard<std::mutex> lock(state_mutex);
+        telemetry.queue_wait_seconds.add(seconds_between(submitted, start));
+        telemetry.task_seconds.add(seconds_between(start, end));
+      });
+    }
+    pool.shutdown();  // drains the queue and joins — the section barrier
+  }
+  telemetry.wall_seconds = seconds_between(section_start, Clock::now());
+  if (first_error) std::rethrow_exception(first_error);
+  return telemetry;
+}
+
+}  // namespace paai::exec

@@ -1,0 +1,32 @@
+#include "exec/shard_plan.h"
+
+#include <algorithm>
+
+namespace paai::exec {
+
+ShardPlan::ShardPlan(std::uint64_t seed0, std::size_t count) {
+  seeds_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds_.push_back(seed0 + static_cast<std::uint64_t>(i));
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> ShardPlan::partition(
+    std::size_t shards) const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const std::size_t n = seeds_.size();
+  shards = std::max<std::size_t>(shards, 1);
+  shards = std::min(shards, std::max<std::size_t>(n, 1));
+  if (n == 0) return out;
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+}  // namespace paai::exec

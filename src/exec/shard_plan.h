@@ -1,0 +1,41 @@
+// ShardPlan: fixes every run's seed before any run executes.
+//
+// Determinism of a parallel Monte-Carlo fleet has two halves. ShardPlan is
+// the first: each run's seed is a pure function of (seed0, run index),
+// materialized up front, so no run's randomness depends on scheduling, on
+// which worker picks it up, or on how many workers exist. The second half
+// is ordered reduction (see parallel_for.h / montecarlo.cc): per-run
+// results are folded into the aggregate strictly in run order. Together
+// they make `jobs=N` bit-identical to `jobs=1`.
+//
+// The default policy is additive (seed0 + i) — the historical serial-loop
+// seeding — so existing recorded results keep their exact values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace paai::exec {
+
+class ShardPlan {
+ public:
+  /// Plan for `count` runs seeded seed0, seed0+1, ... seed0+count-1.
+  ShardPlan(std::uint64_t seed0, std::size_t count);
+
+  std::size_t count() const { return seeds_.size(); }
+  std::uint64_t seed(std::size_t run) const { return seeds_[run]; }
+  const std::vector<std::uint64_t>& seeds() const { return seeds_; }
+
+  /// Splits [0, count) into at most `shards` contiguous [begin, end)
+  /// ranges of near-equal size (for block-scheduled consumers; the
+  /// Monte-Carlo driver schedules per-run and does not need this).
+  std::vector<std::pair<std::size_t, std::size_t>> partition(
+      std::size_t shards) const;
+
+ private:
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace paai::exec

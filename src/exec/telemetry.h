@@ -1,0 +1,46 @@
+// Execution telemetry for the parallel engine.
+//
+// Every parallel_for_each() section reports where its wall-clock time went:
+// how long each item ran, how long it sat in the work queue before a worker
+// picked it up, and how well the pool was utilized overall. The Monte-Carlo
+// driver surfaces this in MonteCarloResult so perf work on the figure
+// reproductions can see whether time goes to the simulation itself, to
+// scheduling, or to an under-filled pool.
+#pragma once
+
+#include <cstddef>
+
+#include "util/stats.h"
+
+namespace paai::exec {
+
+struct ExecTelemetry {
+  /// Resolved worker count the section actually ran with (after the
+  /// jobs=0 -> hardware_concurrency default and the clamp to item count).
+  std::size_t jobs = 1;
+
+  /// Wall-clock seconds of the whole parallel section (submit of the first
+  /// item to completion of the last).
+  double wall_seconds = 0.0;
+
+  /// Per-item execution wall time (seconds), over all items that ran.
+  RunningStat task_seconds;
+
+  /// Per-item queue wait (seconds): submission to a worker picking it up.
+  /// Near-zero means workers were starved for work; large means the queue
+  /// was deep relative to the pool.
+  RunningStat queue_wait_seconds;
+
+  /// Fraction of the pool's total capacity (jobs x wall_seconds) spent
+  /// executing items. 1.0 = perfectly packed; low values mean the tail of
+  /// the run left workers idle or items were too coarse.
+  double utilization() const {
+    const double capacity = static_cast<double>(jobs) * wall_seconds;
+    if (capacity <= 0.0) return 0.0;
+    const double busy = task_seconds.mean() *
+                        static_cast<double>(task_seconds.count());
+    return busy / capacity;
+  }
+};
+
+}  // namespace paai::exec

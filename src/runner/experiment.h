@@ -6,6 +6,22 @@
 // conviction snapshots on a packet-count grid (for the Fig. 2 FP/FN
 // curves), per-node storage time series (Fig. 3), traffic counters
 // (communication overhead), and the final estimates.
+//
+// Thread-safety contract (relied on by src/exec and the parallel
+// Monte-Carlo/fleet drivers): run_experiment() is a pure function of its
+// config. Every piece of mutable state — Simulator, PathNetwork, crypto
+// provider, KeyStore, ProtocolContext, adversary strategies, and all RNG
+// streams (forked from config.path.seed) — is constructed inside the call
+// and owned by it. There are no globals, function-local statics, or
+// lazily initialized shared tables anywhere beneath it (the only statics
+// in src/ are constexpr lookup tables and static member *functions*).
+// Concurrent run_experiment() calls are therefore safe and their results
+// depend only on their configs, never on interleaving. Any future code
+// that introduces shared mutable state below this call must either
+// synchronize it AND keep results schedule-independent, or be rejected —
+// tools/check.sh runs the exec + runner tests under TSan to enforce the
+// first half, and the jobs=1-vs-jobs=8 determinism test in
+// tests/exec_test.cc the second.
 #pragma once
 
 #include <cstdint>

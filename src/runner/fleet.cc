@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "exec/parallel_for.h"
+#include "exec/shard_plan.h"
+
 namespace paai::runner {
 
 FleetResult run_fleet(const FleetConfig& config) {
@@ -16,39 +19,54 @@ FleetResult run_fleet(const FleetConfig& config) {
     result.baseline_delivery = run_experiment(clean).ground_truth_delivery;
   }
 
-  for (std::size_t i = 0; i < config.paths.size(); ++i) {
-    ExperimentConfig cfg = config.base;
-    cfg.link_faults = config.paths[i];
-    cfg.path.seed = config.seed0 + 1 + i;
-    const ExperimentResult run = run_experiment(cfg);
+  // Paths are link-disjoint and independently seeded, so the simulations
+  // compose exactly; run them across the pool. The damage sum is reduced
+  // in path order (OrderedReducer) so floating-point accumulation — and
+  // therefore the result — is bit-identical for any jobs value.
+  const exec::ShardPlan plan(config.seed0 + 1, config.paths.size());
+  result.paths.reserve(config.paths.size());
 
-    FleetResult::PathOutcome outcome;
-    outcome.ground_truth_delivery = run.ground_truth_delivery;
-    outcome.observed_e2e_rate = run.observed_e2e_rate;
-    outcome.convicted = run.final_convicted;
-    for (const auto& fault : config.paths[i]) {
-      outcome.malicious.push_back(fault.link);
-    }
-    std::sort(outcome.malicious.begin(), outcome.malicious.end());
-
-    outcome.all_malicious_convicted = true;
-    for (const std::size_t link : outcome.malicious) {
-      if (std::find(outcome.convicted.begin(), outcome.convicted.end(),
-                    link) == outcome.convicted.end()) {
-        outcome.all_malicious_convicted = false;
-      }
-    }
-    for (const std::size_t link : outcome.convicted) {
-      if (std::find(outcome.malicious.begin(), outcome.malicious.end(),
-                    link) == outcome.malicious.end()) {
-        outcome.any_honest_convicted = true;
-      }
-    }
-
+  auto fold = [&](std::size_t, FleetResult::PathOutcome&& outcome) {
     result.total_damage +=
         std::max(0.0, result.baseline_delivery - outcome.ground_truth_delivery);
     result.paths.push_back(std::move(outcome));
-  }
+  };
+  exec::OrderedReducer<FleetResult::PathOutcome> reducer(config.paths.size(),
+                                                         fold);
+
+  result.exec = exec::parallel_for_each(
+      config.paths.size(),
+      [&](std::size_t i) {
+        ExperimentConfig cfg = config.base;
+        cfg.link_faults = config.paths[i];
+        cfg.path.seed = plan.seed(i);
+        const ExperimentResult run = run_experiment(cfg);
+
+        FleetResult::PathOutcome outcome;
+        outcome.ground_truth_delivery = run.ground_truth_delivery;
+        outcome.observed_e2e_rate = run.observed_e2e_rate;
+        outcome.convicted = run.final_convicted;
+        for (const auto& fault : config.paths[i]) {
+          outcome.malicious.push_back(fault.link);
+        }
+        std::sort(outcome.malicious.begin(), outcome.malicious.end());
+
+        outcome.all_malicious_convicted = true;
+        for (const std::size_t link : outcome.malicious) {
+          if (std::find(outcome.convicted.begin(), outcome.convicted.end(),
+                        link) == outcome.convicted.end()) {
+            outcome.all_malicious_convicted = false;
+          }
+        }
+        for (const std::size_t link : outcome.convicted) {
+          if (std::find(outcome.malicious.begin(), outcome.malicious.end(),
+                        link) == outcome.malicious.end()) {
+            outcome.any_honest_convicted = true;
+          }
+        }
+        reducer.commit(i, std::move(outcome));
+      },
+      config.jobs);
   return result;
 }
 

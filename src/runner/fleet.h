@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "exec/telemetry.h"
 #include "runner/experiment.h"
 
 namespace paai::runner {
@@ -23,6 +24,12 @@ struct FleetConfig {
   /// One entry per path: the malicious links planted on it (may be empty).
   std::vector<std::vector<LinkFault>> paths;
   std::uint64_t seed0 = 9000;
+
+  /// Worker threads for the per-path fan-out: 0 = hardware concurrency,
+  /// 1 = serial. Bit-identical results for any value (paths are
+  /// link-disjoint and independently seeded; aggregation is in path
+  /// order).
+  std::size_t jobs = 1;
 };
 
 struct FleetResult {
@@ -42,6 +49,9 @@ struct FleetResult {
   /// delivered traffic".
   double total_damage = 0.0;
   double baseline_delivery = 0.0;  // measured on a fault-free path
+
+  /// Execution telemetry for the per-path fan-out (see exec/telemetry.h).
+  exec::ExecTelemetry exec;
 };
 
 FleetResult run_fleet(const FleetConfig& config);

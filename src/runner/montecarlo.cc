@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel_for.h"
+#include "exec/shard_plan.h"
+
 namespace paai::runner {
 
 std::vector<std::uint64_t> log_checkpoints(std::uint64_t lo, std::uint64_t hi,
@@ -78,10 +81,13 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
     }
   }
 
-  for (std::size_t r = 0; r < config.runs; ++r) {
-    ExperimentConfig cfg = config.base;
-    cfg.path.seed = config.seed0 + r;
-    const ExperimentResult run = run_experiment(cfg);
+  // Fan the runs out across the pool. Seeds are fixed up front by the
+  // ShardPlan, and per-run results are folded into the aggregate strictly
+  // in run order by the OrderedReducer, so the aggregate is bit-identical
+  // to the serial loop for any jobs value.
+  const exec::ShardPlan plan(config.seed0, config.runs);
+
+  auto fold = [&](std::size_t, ExperimentResult&& run) {
     result.total_events += run.events_processed;
 
     const RunOutcome outcome = classify(run, config.malicious_links);
@@ -113,9 +119,18 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
         result.storage_grids[i].accumulate(run.storage[i]);
       }
     }
+  };
+  exec::OrderedReducer<ExperimentResult> reducer(config.runs, fold,
+                                                 config.progress);
 
-    if (config.progress) config.progress(r);
-  }
+  result.exec = exec::parallel_for_each(
+      config.runs,
+      [&](std::size_t r) {
+        ExperimentConfig cfg = config.base;
+        cfg.path.seed = plan.seed(r);
+        reducer.commit(r, run_experiment(cfg));
+      },
+      config.jobs);
 
   const double n = static_cast<double>(config.runs);
   for (std::size_t i = 0; i < num_cps; ++i) {

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/telemetry.h"
 #include "runner/experiment.h"
 #include "util/stats.h"
 #include "util/timeseries.h"
@@ -33,7 +34,15 @@ struct MonteCarloConfig {
   std::size_t storage_bins = 0;
   double storage_horizon_seconds = 0.0;
 
-  /// Optional progress callback (run index).
+  /// Worker threads for the run fan-out: 0 = hardware concurrency, 1 =
+  /// serial. Results are bit-identical for any value (seeds are fixed up
+  /// front and reduction happens strictly in run order).
+  std::size_t jobs = 1;
+
+  /// Optional progress callback. Invoked from a single reducer context
+  /// (serialized, never concurrently) with the monotonically increasing
+  /// count of completed runs, 1..runs, in order. Must not call back into
+  /// the Monte-Carlo engine.
   std::function<void(std::size_t)> progress;
 };
 
@@ -64,6 +73,11 @@ struct MonteCarloResult {
 
   std::uint64_t total_events = 0;
   std::size_t runs = 0;
+
+  /// Where the wall-clock went: per-run wall time, queue wait, pool
+  /// utilization (see exec/telemetry.h). Populated on every call,
+  /// including jobs=1.
+  exec::ExecTelemetry exec;
 };
 
 MonteCarloResult run_monte_carlo(const MonteCarloConfig& config);

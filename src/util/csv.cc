@@ -49,10 +49,22 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c) os << ',';
-      os << cells[c];
+      emit_cell(cells[c]);
     }
     os << '\n';
   };

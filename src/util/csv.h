@@ -22,7 +22,9 @@ class Table {
 
   /// Renders with space-aligned columns.
   void print(std::ostream& os) const;
-  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  /// Renders as RFC-4180 CSV: cells containing commas, quotes, or
+  /// newlines are quoted (with "" escaping), everything else is emitted
+  /// verbatim.
   void print_csv(std::ostream& os) const;
 
   /// Convenience: honours `csv` flag.

@@ -177,6 +177,18 @@ TEST(Table, AlignedAndCsvOutput) {
   EXPECT_EQ(csv.str(), "name,value\nalpha,0.03\nd,6\n");
 }
 
+TEST(Table, CsvQuotesCommasQuotesAndNewlines) {
+  Table t({"metric", "note"});
+  t.row().cell("queue_wait,mean").cell("plain");
+  t.row().cell("say \"hi\"").cell("line1\nline2");
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "metric,note\n"
+            "\"queue_wait,mean\",plain\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
 TEST(Flags, ParsesFlagsAndEnv) {
   const char* argv_c[] = {"prog", "--csv", "--runs=25"};
   char** argv = const_cast<char**>(argv_c);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Concurrency check: build the ThreadSanitizer configuration and run the
+# exec + runner test suites under it. Catches data races in the parallel
+# execution engine (src/exec) and in anything run_experiment touches —
+# the other half of the determinism story (the jobs=1 vs jobs=8
+# bit-identity test in exec_test) runs in the normal config via ctest.
+#
+# Usage: tools/check.sh [build-dir]    (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DPAAI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target exec_test runner_test fleet_test -j "$(nproc)"
+
+# TSAN_OPTIONS makes races hard failures rather than log noise.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR/tests/exec_test"
+"$BUILD_DIR/tests/runner_test"
+"$BUILD_DIR/tests/fleet_test"
+
+echo "check.sh: exec + runner + fleet tests clean under TSan"

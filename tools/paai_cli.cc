@@ -18,6 +18,8 @@
 //   --adversary=NODE:KIND:RATE  node strategy; KIND in uniform | data |
 //                     ack | corrupt | withhold | withhold-drop (repeatable)
 //   --runs=N          (curve) Monte-Carlo runs              (default 50)
+//   --jobs=N          (curve) worker threads; 0 = all cores (default 0)
+//                     results are bit-identical for any value
 //   --csv             machine-readable output
 //
 // Examples:
@@ -172,6 +174,7 @@ int cmd_curve(int argc, char** argv) {
   MonteCarloConfig mc;
   mc.base = config_from_args(argc, argv);
   mc.runs = std::stoul(get_opt(argc, argv, "runs").value_or("50"));
+  mc.jobs = std::stoul(get_opt(argc, argv, "jobs").value_or("0"));
   if (mc.base.link_faults.empty() && mc.base.adversaries.empty()) {
     mc.base.link_faults.push_back(LinkFault{mc.base.path.length - 2, 0.02});
   }
@@ -189,6 +192,12 @@ int cmd_curve(int argc, char** argv) {
                static_cast<unsigned long long>(mc.base.params.total_packets),
                protocols::protocol_name(mc.base.protocol));
   const MonteCarloResult r = run_monte_carlo(mc);
+  std::fprintf(stderr,
+               "[exec] jobs=%zu wall=%.2fs mean_run=%.0fms "
+               "utilization=%.0f%%\n",
+               r.exec.jobs, r.exec.wall_seconds,
+               r.exec.task_seconds.mean() * 1e3,
+               r.exec.utilization() * 100.0);
 
   Table table({"packets", "false_positive", "false_negative"});
   for (const auto& pt : r.curve) {
@@ -240,7 +249,7 @@ void usage() {
       "[--rho=0.01]\n"
       "            [--packets=N] [--rate=100] [--p=X] [--threshold=X]\n"
       "            [--fault=LINK:RATE]... [--adversary=NODE:KIND:RATE]...\n"
-      "            [--runs=N] [--seed=N] [--csv]\n"
+      "            [--runs=N] [--jobs=N] [--seed=N] [--csv]\n"
       "see tools/paai_cli.cc header for details and examples\n");
 }
 
