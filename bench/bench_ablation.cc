@@ -42,7 +42,8 @@ ExperimentConfig base_config(std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_ablation", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Ablation — why delayed sampling and onion reports",
                       "the design arguments of §5");
 
@@ -64,6 +65,12 @@ int main(int argc, char** argv) {
         static_cast<double>(r.data_link_crossings) /
         (static_cast<double>(r.packets_sent) * 6.0);
     const bool caught = !r.final_convicted.empty();
+    session.metric(std::string("delayed_sampling.") +
+                       (safe ? "safe" : "ablated") + ".delivered",
+                   delivered);
+    session.metric(std::string("delayed_sampling.") +
+                       (safe ? "safe" : "ablated") + ".caught",
+                   caught ? 1.0 : 0.0);
     a.row()
         .cell(safe ? "safe (> freshness window)" : "ABLATED (1 ms)")
         .num(delivered, 3)
@@ -93,6 +100,9 @@ int main(int argc, char** argv) {
     for (const std::size_t link : r.final_convicted) {
       if (link != 0 && link != 1) framed = true;  // non-adjacent to F_1
     }
+    session.metric(std::string("onion_reports.") +
+                       (onion ? "safe" : "ablated") + ".framed",
+                   framed ? 1.0 : 0.0);
     b.row()
         .cell(onion ? "onion reports (PAAI-1)" : "ABLATED (independent acks)")
         .cell(links_of(r.final_convicted))

@@ -13,7 +13,8 @@ using namespace paai;
 using namespace paai::runner;
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_asymmetric", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Footnote 1 — the asymmetric-crypto AAI variant",
                       "footnote 1's overhead claim");
 
@@ -48,6 +49,11 @@ int main(int argc, char** argv) {
     for (const auto l : r.final_convicted) {
       convicted += "l_" + std::to_string(l) + " ";
     }
+    const std::string prefix = std::string(plan.name) + ".";
+    session.metric(prefix + "overhead_bytes_ratio", r.overhead_bytes_ratio);
+    session.metric(prefix + "overhead_packets_ratio",
+                   r.overhead_packets_ratio);
+    session.metric(prefix + "cpu_us_per_pkt", us_per_pkt);
     table.row()
         .cell(plan.name)
         .num(r.overhead_bytes_ratio, 4)

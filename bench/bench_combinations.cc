@@ -24,7 +24,8 @@ struct Plan {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_combinations", argc, argv);
+  const auto& args = session.args;
   bench::print_header("§10 — combination protocols vs their parents",
                       "§10 / Table 1 (Combination 1 & 2)");
 
@@ -45,8 +46,10 @@ int main(int argc, char** argv) {
   for (const Plan& plan : plans) {
     std::fprintf(stderr, "[comb] %s: %zu x %llu...\n", plan.name, plan.runs,
                  static_cast<unsigned long long>(plan.packets));
-    const auto mc = bench::detection_curve(plan.kind, plan.packets,
-                                           plan.runs, 12, 2000, args.jobs);
+    const auto mc =
+        bench::detection_curve(plan.kind, plan.packets, plan.runs, 12, 2000,
+                               args.jobs, session.trace());
+    session.exec(mc.exec);
 
     // Storage probe (short run).
     MonteCarloConfig smc;
@@ -62,6 +65,17 @@ int main(int argc, char** argv) {
     for (std::size_t i = 3; i < st.storage_grids[1].size(); ++i) {
       f1.add(st.storage_grids[1].stat(i).mean());
     }
+
+    const std::string prefix = std::string(plan.name) + ".";
+    if (mc.detection_packets) {
+      session.metric(prefix + "detection_packets",
+                     static_cast<double>(*mc.detection_packets));
+    }
+    session.metric(prefix + "ctrl_pkts_per_data",
+                   mc.overhead_packets_ratio.mean());
+    session.metric(prefix + "ctrl_bytes_per_data",
+                   mc.overhead_bytes_ratio.mean());
+    session.metric(prefix + "f1_storage_pkts", f1.mean());
 
     table.row()
         .cell(plan.name)

@@ -1,19 +1,35 @@
 // Shared helpers for the bench binaries that regenerate the paper's tables
 // and figures. Each binary accepts:
-//   --csv          emit CSV instead of aligned columns
-//   --runs=N       Monte-Carlo runs (also env PAAI_RUNS); the paper used
-//                  10000 — defaults here are sized for a single core, and
-//                  the curves are already stable
-//   --scale=X      multiply default packet budgets (env PAAI_SCALE)
-//   --jobs=N       worker threads for the Monte-Carlo fan-out (also env
-//                  PAAI_JOBS); default 0 = hardware concurrency. Results
-//                  are bit-identical for any value.
+//   --csv               emit CSV instead of aligned columns
+//   --runs=N            Monte-Carlo runs (also env PAAI_RUNS); the paper
+//                       used 10000 — defaults here are sized for a single
+//                       core, and the curves are already stable
+//   --scale=X           multiply default packet budgets (env PAAI_SCALE)
+//   --jobs=N            worker threads for the Monte-Carlo fan-out (also
+//                       env PAAI_JOBS); default 0 = hardware concurrency.
+//                       Results are bit-identical for any value.
+//   --metrics-out FILE  write a machine-readable "paai.bench.v1" JSON
+//                       document (paper metrics + wall time + exec
+//                       telemetry + src/obs counters; see
+//                       docs/OBSERVABILITY.md) and enable the global
+//                       metrics registry for the process
+//   --trace-out FILE    write a Chrome trace_event JSON (load in
+//                       chrome://tracing or https://ui.perfetto.dev)
+// Malformed integer flag/env values are a hard error (exit 2), never a
+// silent default.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/tracer.h"
 #include "runner/montecarlo.h"
 #include "util/csv.h"
 
@@ -24,6 +40,8 @@ struct BenchArgs {
   long long runs = 0;      // 0 = per-bench default
   double scale = 1.0;
   std::size_t jobs = 0;    // 0 = hardware concurrency
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> trace_out;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -34,6 +52,8 @@ struct BenchArgs {
                  100.0;
     const long long jobs = flag_or_env(argc, argv, "--jobs", "PAAI_JOBS", 0);
     args.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
+    args.metrics_out = flag_str(argc, argv, "--metrics-out");
+    args.trace_out = flag_str(argc, argv, "--trace-out");
     return args;
   }
 
@@ -44,6 +64,84 @@ struct BenchArgs {
   std::uint64_t scaled(std::uint64_t packets) const {
     return static_cast<std::uint64_t>(static_cast<double>(packets) * scale);
   }
+};
+
+/// RAII wrapper every bench main() starts with: parses the shared flags,
+/// enables the global metrics registry when --metrics-out/--trace-out is
+/// given, and writes the JSON documents on destruction. With neither flag
+/// the registry stays disabled and the session costs nothing.
+class BenchSession {
+ public:
+  BenchSession(std::string name, int argc, char** argv)
+      : args(BenchArgs::parse(argc, argv)),
+        report_(name),
+        start_(std::chrono::steady_clock::now()) {
+    if (args.metrics_out || args.trace_out) {
+      auto& reg = obs::MetricsRegistry::global();
+      reg.reset();
+      reg.set_enabled(true);
+    }
+    if (args.trace_out) {
+      trace_ = std::make_unique<obs::TraceRing>(std::size_t{1} << 16);
+    }
+    report_.set_arg("runs", args.runs);
+    report_.set_arg("scale_percent",
+                    static_cast<long long>(args.scale * 100.0 + 0.5));
+    report_.set_arg("jobs", static_cast<long long>(args.jobs));
+  }
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  ~BenchSession() {
+    if (args.metrics_out) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      report_.set_wall_seconds(wall);
+      std::ofstream os(*args.metrics_out);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     args.metrics_out->c_str());
+      } else {
+        report_.write(os, obs::MetricsRegistry::global().snapshot());
+      }
+    }
+    if (args.trace_out && trace_ != nullptr) {
+      std::ofstream os(*args.trace_out);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     args.trace_out->c_str());
+      } else {
+        trace_->write_chrome_json(os);
+      }
+    }
+  }
+
+  /// nullptr unless --trace-out was given; pass to MonteCarloConfig.trace.
+  obs::TraceRing* trace() { return trace_.get(); }
+
+  void metric(std::string name, double value) {
+    report_.set_metric(std::move(name), value);
+  }
+  void info(std::string name, std::string value) {
+    report_.set_info(std::move(name), std::move(value));
+  }
+  void arg(std::string name, long long value) {
+    report_.set_arg(std::move(name), value);
+  }
+
+  /// Prints the stderr exec summary AND records it in the report (the
+  /// last recorded section wins in the document).
+  void exec(const exec::ExecTelemetry& t);
+
+  BenchArgs args;
+
+ private:
+  obs::BenchReport report_;
+  std::unique_ptr<obs::TraceRing> trace_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// One-line execution summary for stderr: resolved jobs, wall time, mean
@@ -57,6 +155,13 @@ inline void print_exec_summary(const exec::ExecTelemetry& t) {
                t.queue_wait_seconds.mean() * 1e3, t.utilization() * 100.0);
 }
 
+inline void BenchSession::exec(const exec::ExecTelemetry& t) {
+  print_exec_summary(t);
+  report_.set_exec(t.jobs, t.wall_seconds, t.task_seconds.count(),
+                   t.task_seconds.mean(), t.queue_wait_seconds.mean(),
+                   t.utilization());
+}
+
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n(reproduces %s; see EXPERIMENTS.md for the "
               "paper-vs-measured record)\n\n",
@@ -68,7 +173,7 @@ inline void print_header(const char* title, const char* paper_ref) {
 inline runner::MonteCarloResult detection_curve(
     protocols::ProtocolKind kind, std::uint64_t packets, std::size_t runs,
     std::size_t grid_points = 16, std::uint64_t first_checkpoint = 100,
-    std::size_t jobs = 0) {
+    std::size_t jobs = 0, obs::TraceRing* trace = nullptr) {
   runner::MonteCarloConfig mc;
   mc.base = runner::paper_config(kind, packets, 0);
   mc.base.checkpoints =
@@ -78,6 +183,7 @@ inline runner::MonteCarloResult detection_curve(
   mc.malicious_links = {4};
   mc.sigma = 0.03;
   mc.jobs = jobs;
+  mc.trace = trace;
   return runner::run_monte_carlo(mc);
 }
 

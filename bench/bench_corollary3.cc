@@ -17,9 +17,11 @@ namespace {
 
 std::optional<std::uint64_t> measure_detection(
     protocols::ProtocolKind kind, std::size_t d, double rho,
-    std::uint64_t packets, std::size_t runs, std::size_t jobs) {
+    std::uint64_t packets, std::size_t runs, std::size_t jobs,
+    obs::TraceRing* trace) {
   MonteCarloConfig mc;
   mc.jobs = jobs;
+  mc.trace = trace;
   mc.base = paper_config(kind, packets, 0);
   mc.base.path.length = d;
   mc.base.path.natural_loss = rho;
@@ -45,7 +47,8 @@ std::string fmt_detection(std::optional<std::uint64_t> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_corollary3", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Corollary 3 — parameter sensitivity of detection",
                       "Corollary 3");
 
@@ -68,7 +71,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[cor3] PAAI-1 d=%zu rho=%.3f...\n", d, rho);
       const auto measured = measure_detection(
           protocols::ProtocolKind::kPaai1, d, rho, args.scaled(140000),
-          runs1, args.jobs);
+          runs1, args.jobs, session.trace());
+      if (measured) {
+        session.metric("paai1.d" + std::to_string(d) + ".rho" +
+                           fmt_num(rho, 3),
+                       static_cast<double>(*measured));
+      }
       p1.row()
           .integer(static_cast<long long>(d))
           .num(rho, 3)
@@ -104,7 +112,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[cor3] PAAI-2 d=%zu...\n", d);
     const auto measured = measure_detection(
         protocols::ProtocolKind::kPaai2, d, 0.01,
-        args.scaled(d <= 6 ? 600000 : 1200000), runs2, args.jobs);
+        args.scaled(d <= 6 ? 600000 : 1200000), runs2, args.jobs,
+        session.trace());
+    if (measured) {
+      session.metric("paai2.d" + std::to_string(d),
+                     static_cast<double>(*measured));
+    }
     p2.row()
         .integer(static_cast<long long>(d))
         .cell(fmt_detection(measured))

@@ -21,8 +21,8 @@ struct Column {
   std::uint64_t bypass_after;  // 0 = w/o AAI
 };
 
-void run_rate(double rate_pps, std::size_t runs, bool csv,
-              std::size_t jobs) {
+void run_rate(bench::BenchSession& session, double rate_pps,
+              std::size_t runs, bool csv, std::size_t jobs) {
   const std::uint64_t packets = 2000;
   const double horizon =
       static_cast<double>(packets) / rate_pps * 1.1;
@@ -47,8 +47,11 @@ void run_rate(double rate_pps, std::size_t runs, bool csv,
     mc.jobs = jobs;
     mc.storage_bins = 40;
     mc.storage_horizon_seconds = horizon;
+    mc.trace = session.trace();
     std::fprintf(stderr, "[fig3] %s @%g pps...\n", col.label, rate_pps);
-    grids.push_back(run_monte_carlo(mc).storage_grids[1]);
+    const MonteCarloResult result = run_monte_carlo(mc);
+    session.exec(result.exec);
+    grids.push_back(result.storage_grids[1]);
   }
 
   std::printf("\n-- F_1 storage vs time, source rate %g pkt/s "
@@ -61,17 +64,30 @@ void run_rate(double rate_pps, std::size_t runs, bool csv,
     for (const auto& g : grids) row.num(g.stat(i).mean(), 2);
   }
   table.print(std::cout, csv);
+
+  // Time-averaged F_1 storage per column (skipping the first 10% warm-up)
+  // as the machine-readable series summary.
+  for (std::size_t c = 0; c < grids.size(); ++c) {
+    RunningStat avg;
+    for (std::size_t i = grids[c].size() / 10; i < grids[c].size(); ++i) {
+      avg.add(grids[c].stat(i).mean());
+    }
+    session.metric("f1_storage_mean." + std::to_string(rate_pps) + "pps." +
+                       columns[c].label,
+                   avg.mean());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_fig3_storage", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Figure 3(a)/(b) — storage overhead of F_1",
                       "Figures 3(a) (1000 pkt/s) and 3(b) (100 pkt/s)");
   const std::size_t runs = args.runs_or(30);
-  run_rate(1000.0, runs, args.csv, args.jobs);
-  run_rate(100.0, runs, args.csv, args.jobs);
+  run_rate(session, 1000.0, runs, args.csv, args.jobs);
+  run_rate(session, 100.0, runs, args.csv, args.jobs);
   std::printf("\npaper's qualitative claims to check: storage scales "
               "~linearly with the sending rate; PAAI-1 holds the least "
               "state w/o AAI; full-ack w/ AAI drops to the lowest level "

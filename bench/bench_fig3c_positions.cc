@@ -14,7 +14,8 @@ using namespace paai;
 using namespace paai::runner;
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_fig3c_positions", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Figure 3(c) — storage by path position (full-ack)",
                       "Figure 3(c)");
   const std::size_t runs = args.runs_or(40);
@@ -32,10 +33,12 @@ int main(int argc, char** argv) {
   mc.jobs = args.jobs;
   mc.storage_bins = 50;
   mc.storage_horizon_seconds = 2.2;
+  mc.trace = session.trace();
 
   std::fprintf(stderr, "[fig3c] full-ack, l_4 at 0.1, bypass @1000, "
                "%zu runs...\n", runs);
   const MonteCarloResult result = run_monte_carlo(mc);
+  session.exec(result.exec);
 
   Table table({"time_s", "F1_storage", "F3_storage", "F5_storage"});
   for (std::size_t i = 0; i < result.storage_grids[1].size(); ++i) {
@@ -64,5 +67,12 @@ int main(int argc, char** argv) {
               "F5=%.2f\n",
               avg_range(1, 1.2, 2.0), avg_range(3, 1.2, 2.0),
               avg_range(5, 1.2, 2.0));
+
+  session.metric("attack_phase.f1", avg_range(1, 0.2, 1.0));
+  session.metric("attack_phase.f3", avg_range(3, 0.2, 1.0));
+  session.metric("attack_phase.f5", avg_range(5, 0.2, 1.0));
+  session.metric("after_bypass.f1", avg_range(1, 1.2, 2.0));
+  session.metric("after_bypass.f3", avg_range(3, 1.2, 2.0));
+  session.metric("after_bypass.f5", avg_range(5, 1.2, 2.0));
   return 0;
 }

@@ -4,12 +4,16 @@
 // Monte-Carlo sweeps can be scaled on one core.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench_common.h"
 #include "crypto/hmac.h"
 #include "crypto/keystore.h"
 #include "crypto/provider.h"
 #include "crypto/sha256.h"
 #include "crypto/siphash.h"
 #include "net/onion.h"
+#include "obs/metrics.h"
 #include "runner/experiment.h"
 #include "sim/simulator.h"
 
@@ -119,6 +123,92 @@ BENCHMARK(BM_EndToEndSimulation)
     ->Arg(static_cast<int>(protocols::ProtocolKind::kPaai2))
     ->Unit(benchmark::kMillisecond);
 
+// --- src/obs overhead: the disabled registry must cost ~one relaxed
+// load + branch per call site (the <3% budget of the sim hot paths). ---
+
+void BM_CounterAddDisabled(benchmark::State& state) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  reg.set_enabled(false);
+  const obs::Counter c = reg.counter("micro.counter");
+  for (auto _ : state) c.add();
+}
+BENCHMARK(BM_CounterAddDisabled);
+
+void BM_CounterAddEnabled(benchmark::State& state) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  reg.set_enabled(true);
+  const obs::Counter c = reg.counter("micro.counter");
+  for (auto _ : state) c.add();
+  reg.set_enabled(false);
+}
+BENCHMARK(BM_CounterAddEnabled);
+
+void BM_HistogramObserveEnabled(benchmark::State& state) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  reg.set_enabled(true);
+  const obs::Histogram h = reg.histogram("micro.histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap lcg
+  }
+  reg.set_enabled(false);
+}
+BENCHMARK(BM_HistogramObserveEnabled);
+
+/// Console reporter that additionally records every benchmark's adjusted
+/// real time into the --metrics-out document.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(paai::bench::BenchSession& session)
+      : session_(session) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      session_.metric(run.benchmark_name() + ".real_ns",
+                      run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  paai::bench::BenchSession& session_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The shared bench flags are ours, not google-benchmark's: consume them
+  // before Initialize() sees (and rejects) them.
+  paai::bench::BenchSession session("bench_micro", argc, argv);
+  std::vector<char*> remaining;
+  remaining.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out", 0) == 0 ||
+        arg.rfind("--trace-out", 0) == 0 || arg.rfind("--runs", 0) == 0 ||
+        arg.rfind("--scale", 0) == 0 || arg.rfind("--jobs", 0) == 0 ||
+        arg == "--csv") {
+      // "--flag value" two-token form: swallow the value too.
+      if ((arg == "--metrics-out" || arg == "--trace-out") && i + 1 < argc) {
+        ++i;
+      }
+      continue;
+    }
+    remaining.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(remaining.size());
+  benchmark::Initialize(&filtered_argc, remaining.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             remaining.data())) {
+    return 1;
+  }
+  RecordingReporter reporter(session);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,7 +13,8 @@ using namespace paai;
 using namespace paai::runner;
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_sec9_tradeoff", argc, argv);
+  const auto& args = session.args;
   bench::print_header("§9 — PAAI-1 practicality at p = 1/(5 d^2)",
                       "§9 'Practicality' paragraph (b)");
 
@@ -43,9 +44,21 @@ int main(int argc, char** argv) {
   mc.runs = runs;
   mc.seed0 = 1000;
   mc.jobs = args.jobs;
+  mc.trace = session.trace();
   std::fprintf(stderr, "[sec9] detection run: %zu x %llu packets...\n",
                runs, static_cast<unsigned long long>(packets));
   const MonteCarloResult det = run_monte_carlo(mc);
+  session.exec(det.exec);
+  session.metric("comm_overhead_bytes_ratio",
+                 det.overhead_bytes_ratio.mean());
+  session.metric("comm_overhead_packets_ratio",
+                 det.overhead_packets_ratio.mean());
+  if (det.detection_packets) {
+    session.metric("detection_packets",
+                   static_cast<double>(*det.detection_packets));
+  }
+  session.metric("per_run_detection_packets_mean",
+                 det.per_run_detection_packets.mean());
 
   Table table({"metric", "measured", "paper"});
   table.row()
@@ -92,6 +105,8 @@ int main(int argc, char** argv) {
               fmt_num(rate * 1.5, 4) + "KB/s")
         .num(peak * 1.5, 2)
         .cell(rate > 500 ? "<45" : "~6");
+    session.metric("f1_peak_storage_kb." + fmt_num(rate, 4) + "pps",
+                   peak * 1.5);
   }
 
   table.print(std::cout, args.csv);

@@ -13,7 +13,8 @@ using namespace paai;
 using namespace paai::analysis;
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_table1", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Table 1 — detection rate and overhead comparison",
                       "Table 1 and the worked example of §7.2");
 
@@ -77,5 +78,11 @@ int main(int argc, char** argv) {
   t1.print(std::cout, args.csv);
   std::printf("PAAI-2 end-to-end threshold psi_th = %.4f\n",
               psi_threshold(p));
+
+  session.metric("tau_fullack", tau_fullack(p));
+  session.metric("tau_paai1", tau_paai1(p));
+  session.metric("tau_paai2", tau_paai2(p));
+  session.metric("tau_statfl", tau_statfl(p));
+  session.metric("psi_threshold", psi_threshold(p));
   return 0;
 }

@@ -53,7 +53,8 @@ double average_storage_at_f1(protocols::ProtocolKind kind, std::size_t runs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_table2", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Table 2 — detection time and storage: bound vs "
                       "simulated average",
                       "Table 2 (source rate 100 pkt/s, malicious l_4)");
@@ -90,8 +91,9 @@ int main(int argc, char** argv) {
                  plan.name, plan.runs,
                  static_cast<unsigned long long>(plan.packets));
     const auto mc = bench::detection_curve(plan.kind, plan.packets, plan.runs,
-                                           14, 100, args.jobs);
-    bench::print_exec_summary(mc.exec);
+                                           14, 100, args.jobs,
+                                           session.trace());
+    session.exec(mc.exec);
     const double bound_min = analysis::detection_minutes(plan.bound_packets,
                                                          100.0);
     const double curve_min =
@@ -113,6 +115,11 @@ int main(int argc, char** argv) {
         .num(per_run_min, 4)
         .num(plan.storage_bound_r0nu * r0_nu, 3)
         .num(storage_avg, 3);
+
+    const std::string prefix = std::string(plan.name) + ".";
+    session.metric(prefix + "avg_min_curve", curve_min);
+    session.metric(prefix + "avg_min_per_run", per_run_min);
+    session.metric(prefix + "storage_avg_pkts", storage_avg);
   }
 
   table.print(std::cout, args.csv);

@@ -22,7 +22,8 @@ using namespace paai;
 using namespace paai::runner;
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchSession session("bench_theorem1", argc, argv);
+  const auto& args = session.args;
   bench::print_header("Theorem 1 / Corollary 2 — damage bounds, measured",
                       "Theorem 1, Corollaries 1-2");
 
@@ -50,7 +51,12 @@ int main(int argc, char** argv) {
     mc.seed0 = 1000;
     mc.jobs = args.jobs;
     mc.malicious_links = {4};
+    mc.trace = session.trace();
     const MonteCarloResult agg = run_monte_carlo(mc);
+    if (agg.detection_packets) {
+      session.metric("sweep.rate" + fmt_num(extra, 3) + ".detection_packets",
+                     static_cast<double>(*agg.detection_packets));
+    }
 
     // One representative run for the ground-truth columns.
     ExperimentConfig one = mc.base;
@@ -125,6 +131,10 @@ int main(int argc, char** argv) {
       const double z = 3.0;
       const double analytic =
           is_spread ? z * rate : 1.0 - std::pow(1.0 - rate, z);
+      session.metric(std::string("cor2.") +
+                         (is_spread ? "spread" : "concentrated") + ".rate" +
+                         fmt_num(rate, 3) + ".damage",
+                     damage.mean());
       fleet.row()
           .cell(is_spread ? "spread (1 link/path, 3 paths)"
                           : "concentrated (3 links, 1 path)")

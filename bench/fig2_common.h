@@ -16,9 +16,12 @@ inline int run_fig2(int argc, char** argv, protocols::ProtocolKind kind,
                     const char* fig_name, std::uint64_t default_packets,
                     std::size_t default_runs,
                     std::uint64_t first_checkpoint) {
-  const auto args = BenchArgs::parse(argc, argv);
+  BenchSession session(fig_name, argc, argv);
+  const auto& args = session.args;
   const std::size_t runs = args.runs_or(default_runs);
   const std::uint64_t packets = args.scaled(default_packets);
+  session.info("protocol", protocols::protocol_name(kind));
+  session.arg("packets", static_cast<long long>(packets));
 
   print_header(fig_name,
                "Figure 2: false positive/negative vs packets sent");
@@ -27,9 +30,9 @@ inline int run_fig2(int argc, char** argv, protocols::ProtocolKind kind,
               protocols::protocol_name(kind), runs,
               static_cast<unsigned long long>(packets));
 
-  const auto mc =
-      detection_curve(kind, packets, runs, 18, first_checkpoint, args.jobs);
-  print_exec_summary(mc.exec);
+  const auto mc = detection_curve(kind, packets, runs, 18, first_checkpoint,
+                                  args.jobs, session.trace());
+  session.exec(mc.exec);
 
   Table table({"packets_sent", "false_positive", "false_negative",
                "fp_ci95", "fn_ci95"});
@@ -61,6 +64,17 @@ inline int run_fig2(int argc, char** argv, protocols::ProtocolKind kind,
     std::printf(" l_%zu=%.4f", i, mc.final_thetas[i].mean());
   }
   std::printf("\n");
+
+  if (mc.detection_packets) {
+    session.metric("detection_packets",
+                   static_cast<double>(*mc.detection_packets));
+  }
+  session.metric("per_run_detection_packets_mean",
+                 mc.per_run_detection_packets.mean());
+  session.metric("final_fp", mc.curve.empty() ? 0.0 : mc.curve.back().fp);
+  session.metric("final_fn", mc.curve.empty() ? 0.0 : mc.curve.back().fn);
+  session.metric("final_e2e_rate", mc.final_e2e_rate.mean());
+  session.metric("overhead_bytes_ratio", mc.overhead_bytes_ratio.mean());
   return 0;
 }
 

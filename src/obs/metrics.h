@@ -1,0 +1,292 @@
+// Low-overhead process-wide metrics.
+//
+// A MetricsRegistry names three metric kinds:
+//   * Counter    — monotonically increasing uint64 (packets, probes, ...);
+//   * Gauge      — last-written int64 plus its high-water mark (storage
+//                  entries held, queue depth, ...);
+//   * Histogram  — log2-bucketed uint64 distribution with count / sum /
+//                  min / max (latencies in ns, sizes in bytes, ...).
+//
+// Design constraints, in order:
+//   1. Near-zero cost when disabled. Handles are 16-byte value types; a
+//      disabled registry turns every write into one relaxed atomic load
+//      and a predicted-not-taken branch, so instrumentation can live on
+//      the simulator's per-packet hot path.
+//   2. TSan-clean under the src/exec pool. Every cell is a relaxed
+//      std::atomic; counters and histograms are sharded per thread
+//      (each thread is assigned one of kShards cache-line-padded shards
+//      on first use), so concurrent Monte-Carlo runs aggregate lock-free
+//      with no shared-line ping-pong on the common path.
+//   3. Deterministic totals. Aggregated counter totals and histogram
+//      multisets depend only on the set of operations performed, never on
+//      thread interleaving — run_experiment()'s results never read the
+//      registry, so the bit-identity contract of runner/experiment.h is
+//      preserved (see the carve-out documented there).
+//
+// Registration (name -> cells) takes a mutex and is expected once per
+// constructed object (per simulation run at most), never per event.
+// Snapshots are relaxed reads and may be taken while writers are live;
+// they are exact once the writers have quiesced.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paai::obs {
+
+/// Number of per-thread shards per counter/histogram (power of two).
+inline constexpr std::size_t kShards = 8;
+
+/// Histogram bucket b holds values whose bit_width() == b, i.e. bucket 0
+/// is exactly {0} and bucket b >= 1 covers [2^(b-1), 2^b - 1].
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+namespace detail {
+
+/// Stable shard index for the calling thread, in [0, kShards).
+std::size_t this_thread_shard();
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterCells {
+  std::array<CounterShard, kShards> shards{};
+  std::uint64_t total() const;
+  void reset();
+};
+
+struct GaugeCell {
+  std::atomic<std::int64_t> value{0};
+  std::atomic<std::int64_t> high{std::numeric_limits<std::int64_t>::min()};
+  void reset();
+};
+
+struct alignas(64) HistogramShard {
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+};
+
+struct HistogramCells {
+  std::array<HistogramShard, kShards> shards{};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+  void reset();
+};
+
+}  // namespace detail
+
+/// Handle to a registered counter. Default-constructed handles are inert
+/// (every operation is a no-op), so instrumentation points may be wired
+/// unconditionally.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) const {
+    if (cells_ == nullptr || !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    cells_->shards[detail::this_thread_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() const { add(1); }
+
+  /// True when writes will actually be recorded right now.
+  bool live() const {
+    return cells_ != nullptr && enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(detail::CounterCells* cells, const std::atomic<bool>* enabled)
+      : cells_(cells), enabled_(enabled) {}
+
+  detail::CounterCells* cells_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+
+  /// Stores `v` and folds it into the high-water mark.
+  void set(std::int64_t v) const {
+    if (cell_ == nullptr || !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    cell_->value.store(v, std::memory_order_relaxed);
+    record_high(v);
+  }
+
+  /// Folds `v` into the high-water mark without touching the value.
+  void record_high(std::int64_t v) const {
+    if (cell_ == nullptr || !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::int64_t cur = cell_->high.load(std::memory_order_relaxed);
+    while (v > cur && !cell_->high.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  bool live() const {
+    return cell_ != nullptr && enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(detail::GaugeCell* cell, const std::atomic<bool>* enabled)
+      : cell_(cell), enabled_(enabled) {}
+
+  detail::GaugeCell* cell_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(std::uint64_t v) const {
+    if (cells_ == nullptr || !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    auto& shard = cells_->shards[detail::this_thread_shard()];
+    shard.buckets[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = cells_->min.load(std::memory_order_relaxed);
+    while (v < cur && !cells_->min.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+    cur = cells_->max.load(std::memory_order_relaxed);
+    while (v > cur && !cells_->max.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  bool live() const {
+    return cells_ != nullptr && enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(detail::HistogramCells* cells, const std::atomic<bool>* enabled)
+      : cells_(cells), enabled_(enabled) {}
+
+  detail::HistogramCells* cells_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+/// Records the scope's wall time into a histogram, in nanoseconds. The
+/// clock is only read when the histogram is live, so a disabled registry
+/// pays two branches and no clock syscalls.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Histogram& hist)
+      : hist_(hist), active_(hist.live()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (!active_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    hist_.observe(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+
+ private:
+  Histogram hist_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t high = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket containing quantile q (q in [0, 1]).
+  std::uint64_t quantile_bound(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the built-in sim / protocols /
+  /// runner instrumentation. Disabled until someone (a BenchSession, a
+  /// test) turns it on.
+  static MetricsRegistry& global();
+
+  /// Returns a handle, registering the metric on first use. Names are
+  /// dot-separated lowercase with a unit suffix (see
+  /// docs/OBSERVABILITY.md); one name must keep one kind.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Relaxed-read snapshot of every registered metric, sorted by name.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes all values; registrations and outstanding handles stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::map<std::string, std::unique_ptr<detail::CounterCells>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<detail::GaugeCell>, std::less<>>
+      gauges_;
+  std::map<std::string, std::unique_ptr<detail::HistogramCells>, std::less<>>
+      histograms_;
+};
+
+}  // namespace paai::obs

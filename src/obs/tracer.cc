@@ -1,0 +1,75 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace paai::obs {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity) {}
+
+std::uint64_t TraceRing::retained() const {
+  return std::min<std::uint64_t>(recorded(), slots_.size());
+}
+
+void TraceRing::record(const char* name, const char* cat, std::int64_t ts_us,
+                       std::int64_t dur_us, std::uint32_t track,
+                       std::int64_t arg) {
+  const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[idx % slots_.size()];
+  s.name.store(name, std::memory_order_relaxed);
+  s.cat.store(cat, std::memory_order_relaxed);
+  s.ts_us.store(ts_us, std::memory_order_relaxed);
+  s.dur_us.store(dur_us, std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.track.store(track, std::memory_order_relaxed);
+}
+
+void TraceRing::write_chrome_json(std::ostream& os) const {
+  const std::uint64_t head = recorded();
+  const std::uint64_t count = std::min<std::uint64_t>(head, slots_.size());
+  const std::uint64_t start = head - count;
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.key("recorded").value(head);
+  w.key("dropped").value(dropped());
+  w.end_object();
+  w.key("traceEvents").begin_array();
+  for (std::uint64_t i = start; i < head; ++i) {
+    const Slot& s = slots_[i % slots_.size()];
+    const char* name = s.name.load(std::memory_order_relaxed);
+    if (name == nullptr) continue;
+    const std::int64_t dur = s.dur_us.load(std::memory_order_relaxed);
+    const std::int64_t arg = s.arg.load(std::memory_order_relaxed);
+    w.begin_object();
+    w.key("name").value(name);
+    const char* cat = s.cat.load(std::memory_order_relaxed);
+    w.key("cat").value(cat != nullptr ? cat : "");
+    if (dur >= 0) {
+      w.key("ph").value("X");
+      w.key("dur").value(dur);
+    } else {
+      w.key("ph").value("i");
+      w.key("s").value("t");
+    }
+    w.key("ts").value(s.ts_us.load(std::memory_order_relaxed));
+    w.key("pid").value(std::int64_t{1});
+    w.key("tid").value(
+        static_cast<std::int64_t>(s.track.load(std::memory_order_relaxed)));
+    if (arg != kTraceNoArg) {
+      w.key("args").begin_object();
+      w.key("v").value(arg);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace paai::obs

@@ -1,0 +1,96 @@
+// Bounded ring-buffer event tracer with Chrome trace_event export.
+//
+// A TraceRing records fixed-size events into a preallocated ring: writers
+// claim a slot with one relaxed fetch_add and store the fields with
+// relaxed atomic stores, so tracing is lock-free, TSan-clean under the
+// src/exec pool, and safe to leave compiled into hot paths (a null
+// TraceRing* check is the only disabled cost). When the ring wraps, the
+// oldest events are overwritten — `dropped()` says how many.
+//
+// Timestamps are caller-provided microseconds. The simulator
+// instrumentation records *simulated* time, so a run's probe/ack/drop
+// timeline lays out on the sim clock; each Monte-Carlo run writes to its
+// own track (tid), one swimlane per run in the viewer. Load the exported
+// file in chrome://tracing or https://ui.perfetto.dev.
+//
+// Event names and categories must be string literals (or otherwise
+// outlive the ring): slots store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+namespace paai::obs {
+
+inline constexpr std::int64_t kTraceNoArg =
+    std::numeric_limits<std::int64_t>::min();
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 1 << 15);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Records an instant event (Chrome ph "i"). `arg`, when not kTraceNoArg,
+  /// is exported as args.v.
+  void instant(const char* name, const char* cat, std::int64_t ts_us,
+               std::uint32_t track, std::int64_t arg = kTraceNoArg) {
+    record(name, cat, ts_us, /*dur_us=*/-1, track, arg);
+  }
+
+  /// Records a complete event (Chrome ph "X") spanning [ts, ts + dur].
+  void complete(const char* name, const char* cat, std::int64_t ts_us,
+                std::int64_t dur_us, std::uint32_t track,
+                std::int64_t arg = kTraceNoArg) {
+    record(name, cat, ts_us, dur_us >= 0 ? dur_us : 0, track, arg);
+  }
+
+  /// Events ever recorded (monotonic; may exceed capacity).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Events still in the ring.
+  std::uint64_t retained() const;
+  /// Events lost to wraparound.
+  std::uint64_t dropped() const { return recorded() - retained(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+  void clear() { head_.store(0, std::memory_order_relaxed); }
+
+  /// Writes the Chrome trace_event JSON document (oldest event first).
+  /// Call only when writers have quiesced; a slot being overwritten
+  /// concurrently with export can surface as a mixed event, never as a
+  /// data race.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<std::int64_t> ts_us{0};
+    std::atomic<std::int64_t> dur_us{-1};
+    std::atomic<std::int64_t> arg{kTraceNoArg};
+    std::atomic<std::uint32_t> track{0};
+  };
+
+  void record(const char* name, const char* cat, std::int64_t ts_us,
+              std::int64_t dur_us, std::uint32_t track, std::int64_t arg);
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// A tracing destination handed down into instrumented components: the
+/// ring (nullptr = tracing off) plus the track (Chrome tid) the component
+/// should write under — the Monte-Carlo driver assigns one track per run.
+struct TraceCtx {
+  TraceRing* ring = nullptr;
+  std::uint32_t track = 0;
+
+  explicit operator bool() const { return ring != nullptr; }
+};
+
+}  // namespace paai::obs

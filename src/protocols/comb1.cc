@@ -73,6 +73,7 @@ void Comb1Source::on_ack_timeout(const net::PacketId& id) {
   probe.data_id = id;
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
+  ctx_.metrics().probes_sent.add();
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -98,6 +99,7 @@ void Comb1Source::on_packet(const sim::PacketEnv& env) {
 }
 
 void Comb1Source::handle_dest_ack(const net::DestAck& ack) {
+  ctx_.metrics().dest_acks_received.add();
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr) return;
   const crypto::Mac expected = dest_ack_tag(ctx_, ack.data_id);
@@ -111,6 +113,7 @@ void Comb1Source::handle_dest_ack(const net::DestAck& ack) {
 }
 
 void Comb1Source::handle_report(const net::ReportAck& ack) {
+  ctx_.metrics().report_acks_received.add();
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr || !p->probed) return;
 

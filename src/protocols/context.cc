@@ -51,6 +51,12 @@ ProtocolContext::ProtocolContext(const crypto::CryptoProvider& crypto,
 
   key_vec_.resize(d_ + 1);
   for (std::size_t i = 1; i <= d_; ++i) key_vec_[i] = keys.node_key(i);
+
+  auto& reg = obs::MetricsRegistry::global();
+  metrics_.probes_sent = reg.counter("proto.probes_sent");
+  metrics_.dest_acks_received = reg.counter("proto.dest_acks_received");
+  metrics_.report_acks_received = reg.counter("proto.report_acks_received");
+  metrics_.fl_reports_received = reg.counter("proto.fl_reports_received");
 }
 
 }  // namespace paai::protocols

@@ -20,10 +20,21 @@
 
 #include "crypto/keystore.h"
 #include "crypto/provider.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/time.h"
 
 namespace paai::protocols {
+
+/// Protocol-plane observability handles (proto.* in the registry),
+/// shared by every agent on the path. Inert until the global registry is
+/// enabled; see docs/OBSERVABILITY.md for the names.
+struct ProtocolMetrics {
+  obs::Counter probes_sent;
+  obs::Counter dest_acks_received;
+  obs::Counter report_acks_received;
+  obs::Counter fl_reports_received;
+};
 
 enum class ProtocolKind : std::uint8_t {
   kFullAck,
@@ -107,6 +118,9 @@ class ProtocolContext {
   /// onion_verify() and selected_node() expect.
   const std::vector<crypto::Key>& key_vector() const { return key_vec_; }
 
+  /// Observability handles (no-ops while the registry is disabled).
+  const ProtocolMetrics& metrics() const { return metrics_; }
+
  private:
   const crypto::CryptoProvider* crypto_;
   const crypto::KeyStore* keys_;
@@ -117,6 +131,7 @@ class ProtocolContext {
   sim::SimDuration probe_delay_;
   sim::SimDuration timer_slack_;
   std::vector<crypto::Key> key_vec_;
+  ProtocolMetrics metrics_;
 };
 
 }  // namespace paai::protocols

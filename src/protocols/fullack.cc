@@ -91,6 +91,7 @@ void FullAckSource::on_ack_timeout(const net::PacketId& id) {
   probe.data_id = id;
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
+  ctx_.metrics().probes_sent.add();
   node().sim().after(ctx_.r0() + ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -118,6 +119,7 @@ void FullAckSource::on_packet(const sim::PacketEnv& env) {
 }
 
 void FullAckSource::handle_dest_ack(const net::DestAck& ack) {
+  ctx_.metrics().dest_acks_received.add();
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr) return;
   const crypto::Mac expected = dest_ack_tag(ctx_, ack.data_id);
@@ -150,6 +152,7 @@ bool FullAckSource::report_ok(std::uint8_t index, ByteView report,
 }
 
 void FullAckSource::handle_report(const net::ReportAck& ack) {
+  ctx_.metrics().report_acks_received.add();
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr || !p->probed) return;
 

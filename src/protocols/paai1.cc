@@ -135,6 +135,7 @@ void Paai1Source::send_probe(const net::PacketId& id) {
   }
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
+  ctx_.metrics().probes_sent.add();
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_resolution_timeout(id); });
 }
@@ -176,6 +177,7 @@ void Paai1Source::on_packet(const sim::PacketEnv& env) {
 }
 
 void Paai1Source::handle_report(const net::ReportAck& ack) {
+  ctx_.metrics().report_acks_received.add();
   if (ctx_.params().paai1_independent_acks) {
     handle_independent_report(ack);
     return;

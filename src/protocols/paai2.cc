@@ -142,6 +142,7 @@ void Paai2Source::on_ack_timeout(const net::PacketId& id) {
 
   node().originate(sim::Direction::kToDest,
                    shared_wire(Bytes(p->probe_bytes)), probe.wire_size());
+  ctx_.metrics().probes_sent.add();
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -168,6 +169,7 @@ void Paai2Source::on_packet(const sim::PacketEnv& env) {
 }
 
 void Paai2Source::handle_dest_ack(const net::DestAck& ack) {
+  ctx_.metrics().dest_acks_received.add();
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr || p->probed) return;
   const crypto::Mac expected = dest_ack_tag(ctx_, ack.data_id);
@@ -179,6 +181,7 @@ void Paai2Source::handle_dest_ack(const net::DestAck& ack) {
 }
 
 void Paai2Source::handle_report(const net::ReportAck& ack) {
+  ctx_.metrics().report_acks_received.add();
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr || !p->probed) return;
   if (ack.report.size() != kPaai2ReportSize) return;  // malformed: wait

@@ -12,6 +12,9 @@ ScoreTable::ScoreTable(std::size_t num_links, double traversals,
   if (num_links == 0 || traversals <= 0.0 || probe_extra < 0.0) {
     throw std::invalid_argument("ScoreTable: bad construction parameters");
   }
+  auto& reg = obs::MetricsRegistry::global();
+  obs_updates_ = reg.counter("proto.score.updates");
+  obs_blames_ = reg.counter("proto.score.blames");
 }
 
 double ScoreTable::effective_traversals() const {
@@ -20,7 +23,10 @@ double ScoreTable::effective_traversals() const {
                            static_cast<double>(n_);
 }
 
-void ScoreTable::add_clean() { ++n_; }
+void ScoreTable::add_clean() {
+  ++n_;
+  obs_updates_.add();
+}
 
 void ScoreTable::blame(std::size_t link) {
   ++n_;
@@ -28,6 +34,8 @@ void ScoreTable::blame(std::size_t link) {
     throw std::out_of_range("ScoreTable::blame: link index out of range");
   }
   ++s_[link];
+  obs_updates_.add();
+  obs_blames_.add();
 }
 
 double ScoreTable::theta(std::size_t link) const {
@@ -74,6 +82,9 @@ Paai2ScoreTable::Paai2ScoreTable(std::size_t num_links)
   if (num_links == 0) {
     throw std::invalid_argument("Paai2ScoreTable: need at least one link");
   }
+  auto& reg = obs::MetricsRegistry::global();
+  obs_updates_ = reg.counter("proto.score.updates");
+  obs_blames_ = reg.counter("proto.score.blames");
 }
 
 void Paai2ScoreTable::add_data_packet() { ++data_packets_; }
@@ -84,10 +95,12 @@ void Paai2ScoreTable::add_probe(std::size_t selected, bool prefix_failed) {
   }
   ++probes_;
   ++sel_n_[selected];
+  obs_updates_.add();
   if (prefix_failed) {
     ++sel_f_[selected];
     // The paper's scoring rule: +1 to every link in [l_0, l_{e-1}].
     for (std::size_t j = 0; j < selected; ++j) ++s_[j];
+    obs_blames_.add();
   }
 }
 

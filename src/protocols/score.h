@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace paai::protocols {
 
 class ScoreTable {
@@ -73,6 +75,8 @@ class ScoreTable {
   std::uint64_t probes_ = 0;
   double traversals_;
   double probe_extra_;
+  obs::Counter obs_updates_;
+  obs::Counter obs_blames_;
 };
 
 class Paai2ScoreTable {
@@ -112,6 +116,8 @@ class Paai2ScoreTable {
   std::vector<std::uint64_t> sel_f_;   // ... of which prefix-failed [1..d]
   std::uint64_t data_packets_ = 0;
   std::uint64_t probes_ = 0;
+  obs::Counter obs_updates_;
+  obs::Counter obs_blames_;
 };
 
 }  // namespace paai::protocols

@@ -115,6 +115,7 @@ void SigAckSource::on_ack_timeout(const net::PacketId& id) {
   probe.data_id = id;
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
+  ctx_.metrics().probes_sent.add();
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -141,6 +142,7 @@ void SigAckSource::on_packet(const sim::PacketEnv& env) {
 }
 
 void SigAckSource::handle_report(const net::ReportAck& ack) {
+  ctx_.metrics().report_acks_received.add();
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr) return;
 

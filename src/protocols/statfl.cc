@@ -105,6 +105,7 @@ void StatFlSource::on_packet(const sim::PacketEnv& env) {
 }
 
 void StatFlSource::handle_report(const net::FlReport& report) {
+  ctx_.metrics().fl_reports_received.add();
   if (!awaiting_active_ || report.interval != awaiting_) return;
 
   std::vector<std::uint64_t> counts(ctx_.d() + 1, 0);

@@ -1,8 +1,10 @@
 #include "runner/experiment.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "crypto/keystore.h"
+#include "obs/metrics.h"
 #include "protocols/factory.h"
 #include "sim/simulator.h"
 
@@ -154,6 +156,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.true_link_loss.push_back(net.counters().true_link_loss(i));
   }
   result.events_processed = simulator.events_processed();
+
+  // Observability epilogue (no-ops while the registry is disabled; never
+  // read back into the result). Gauge high-water across nodes gives the
+  // worst per-node storage the run ever saw.
+  std::uint64_t peak = 0;
+  for (std::size_t i = 0; i <= net.length(); ++i) {
+    peak = std::max(peak, net.node(i).storage().peak());
+  }
+  obs::MetricsRegistry::global()
+      .gauge("sim.storage.peak_entries")
+      .set(static_cast<std::int64_t>(peak));
+  if (config.path.trace != nullptr) {
+    config.path.trace->complete(
+        "run", "runner", /*ts_us=*/0,
+        simulator.now() / sim::kMicrosecond, config.path.trace_track,
+        static_cast<std::int64_t>(result.events_processed));
+  }
   return result;
 }
 

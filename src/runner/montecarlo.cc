@@ -5,6 +5,7 @@
 
 #include "exec/parallel_for.h"
 #include "exec/shard_plan.h"
+#include "obs/metrics.h"
 
 namespace paai::runner {
 
@@ -87,6 +88,15 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
   // to the serial loop for any jobs value.
   const exec::ShardPlan plan(config.seed0, config.runs);
 
+  // Driver-level observability. Handles resolve to no-ops while the
+  // registry is disabled; they are never read back into the result, so the
+  // aggregate stays bit-identical for any jobs value.
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Counter obs_runs = reg.counter("runner.runs");
+  const obs::Histogram obs_run_wall = reg.histogram("runner.run_wall_ns");
+  const obs::Histogram obs_detection =
+      reg.histogram("runner.detection_packets");
+
   auto fold = [&](std::size_t, ExperimentResult&& run) {
     result.total_events += run.events_processed;
 
@@ -106,6 +116,7 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
     if (first_stable < run.checkpoints.size()) {
       result.per_run_detection_packets.add(
           static_cast<double>(run.checkpoints[first_stable].packets));
+      obs_detection.observe(run.checkpoints[first_stable].packets);
     }
 
     result.final_e2e_rate.add(run.observed_e2e_rate);
@@ -128,6 +139,10 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
       [&](std::size_t r) {
         ExperimentConfig cfg = config.base;
         cfg.path.seed = plan.seed(r);
+        cfg.path.trace = config.trace;
+        cfg.path.trace_track = static_cast<std::uint32_t>(r);
+        obs_runs.add();
+        const obs::ScopedTimer timer(obs_run_wall);
         reducer.commit(r, run_experiment(cfg));
       },
       config.jobs);

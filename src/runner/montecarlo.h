@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exec/telemetry.h"
+#include "obs/tracer.h"
 #include "runner/experiment.h"
 #include "util/stats.h"
 #include "util/timeseries.h"
@@ -38,6 +39,11 @@ struct MonteCarloConfig {
   /// serial. Results are bit-identical for any value (seeds are fixed up
   /// front and reduction happens strictly in run order).
   std::size_t jobs = 1;
+
+  /// Optional event tracer. Each run gets its own Chrome-trace track
+  /// (tid = run index) so per-link events from concurrent runs never
+  /// interleave. Purely observational — results are unaffected.
+  obs::TraceRing* trace = nullptr;
 
   /// Optional progress callback. Invoked from a single reducer context
   /// (serialized, never concurrently) with the monotonically increasing

@@ -2,15 +2,65 @@
 
 namespace paai::sim {
 
+namespace {
+
+// Static strings for the tracer (slots store pointers, not copies).
+const char* tx_trace_name(net::PacketType type) {
+  switch (type) {
+    case net::PacketType::kData:
+      return "tx data";
+    case net::PacketType::kDestAck:
+      return "tx dest-ack";
+    case net::PacketType::kProbe:
+      return "tx probe";
+    case net::PacketType::kReportAck:
+      return "tx report-ack";
+    case net::PacketType::kFlReport:
+      return "tx fl-report";
+    case net::PacketType::kFlRequest:
+      return "tx fl-request";
+  }
+  return "tx ?";
+}
+
+const char* drop_trace_name(net::PacketType type) {
+  switch (type) {
+    case net::PacketType::kData:
+      return "drop data";
+    case net::PacketType::kDestAck:
+      return "drop dest-ack";
+    case net::PacketType::kProbe:
+      return "drop probe";
+    case net::PacketType::kReportAck:
+      return "drop report-ack";
+    case net::PacketType::kFlReport:
+      return "drop fl-report";
+    case net::PacketType::kFlRequest:
+      return "drop fl-request";
+  }
+  return "drop ?";
+}
+
+}  // namespace
+
 void Link::transmit(const PacketEnv& env) {
   const auto type = net::peek_type(env.view());
   if (counters_ != nullptr && type) {
     counters_->on_transmit(*type, env.wire_size, index_);
   }
+  obs_.tx_packets.add();
+  obs_.tx_bytes.add(env.wire_size);
   if (rng_.bernoulli(loss_rate_)) {
     if (counters_ != nullptr) {
       counters_->on_link_drop(index_,
                               type.value_or(net::PacketType::kData));
+    }
+    obs_.drops.add();
+    if (trace_.ring != nullptr) {
+      trace_.ring->instant(
+          drop_trace_name(type.value_or(net::PacketType::kData)), "sim",
+          sim_.now() / kMicrosecond, trace_.track,
+          static_cast<std::int64_t>(index_));
     }
     return;
   }
@@ -20,6 +70,13 @@ void Link::transmit(const PacketEnv& env) {
   if (jitter_ > 0) {
     delay += static_cast<SimDuration>(rng_.next_double() *
                                       static_cast<double>(jitter_));
+  }
+  obs_.latency_ns.observe(static_cast<std::uint64_t>(delay));
+  if (trace_.ring != nullptr) {
+    trace_.ring->complete(tx_trace_name(type.value_or(net::PacketType::kData)),
+                          "sim", sim_.now() / kMicrosecond,
+                          delay / kMicrosecond, trace_.track,
+                          static_cast<std::int64_t>(index_));
   }
   sim_.after(delay, [target, env] { target->deliver(env); });
 }

@@ -11,12 +11,24 @@
 #include <cstddef>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/node.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 
 namespace paai::sim {
+
+/// Per-link observability handles (sim.link.<i>.* in the registry). All
+/// handles are inert until the registry is enabled, so a default
+/// LinkObs costs one predicted branch per operation.
+struct LinkObs {
+  obs::Counter tx_packets;
+  obs::Counter tx_bytes;
+  obs::Counter drops;
+  obs::Histogram latency_ns;
+};
 
 class Link {
  public:
@@ -43,6 +55,13 @@ class Link {
     downstream_ = downstream;
   }
 
+  /// Wires the metrics handles and the (optional) trace destination;
+  /// PathNetwork calls this once at construction.
+  void set_obs(LinkObs obs, obs::TraceCtx trace) {
+    obs_ = obs;
+    trace_ = trace;
+  }
+
   /// Sends the packet across the link: counts it, tosses the natural-loss
   /// coin, and on survival schedules delivery at the peer after `latency`.
   void transmit(const PacketEnv& env);
@@ -60,6 +79,8 @@ class Link {
   SimDuration jitter_ = 0;
   Rng rng_;
   TrafficCounters* counters_;
+  LinkObs obs_{};
+  obs::TraceCtx trace_{};
   Node* upstream_ = nullptr;    // the l_i endpoint closer to S (F_i)
   Node* downstream_ = nullptr;  // the endpoint closer to D (F_{i+1})
 };

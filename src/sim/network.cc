@@ -1,8 +1,28 @@
 #include "sim/network.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace paai::sim {
+
+namespace {
+
+// One registry lookup set per link per network construction — never on
+// the per-packet path. Names follow docs/OBSERVABILITY.md.
+LinkObs link_obs(std::size_t i) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix = "sim.link." + std::to_string(i);
+  LinkObs o;
+  o.tx_packets = reg.counter(prefix + ".tx_packets");
+  o.tx_bytes = reg.counter(prefix + ".tx_bytes");
+  o.drops = reg.counter(prefix + ".drops");
+  o.latency_ns = reg.histogram(prefix + ".latency_ns");
+  return o;
+}
+
+}  // namespace
 
 PathNetwork::PathNetwork(Simulator& sim, const PathConfig& config)
     : sim_(sim), config_(config), counters_(config.length) {
@@ -34,6 +54,8 @@ PathNetwork::PathNetwork(Simulator& sim, const PathConfig& config)
     links_.push_back(std::make_unique<Link>(
         sim_, i, config.natural_loss, latency,
         milliseconds(config.jitter_ms), loss_seed_rng.fork(i), &counters_));
+    links_[i]->set_obs(link_obs(i),
+                       obs::TraceCtx{config.trace, config.trace_track});
     links_[i]->connect(nodes_[i].get(), nodes_[i + 1].get());
     nodes_[i]->set_link_toward_dest(links_[i].get());
     nodes_[i + 1]->set_link_toward_source(links_[i].get());

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "sim/link.h"
 #include "sim/node.h"
 #include "sim/simulator.h"
@@ -36,6 +37,12 @@ struct PathConfig {
   double max_clock_error_ms = 0.0;
   /// Seed for link loss / latency / clock-offset streams.
   std::uint64_t seed = 1;
+  /// Optional event tracer: when set, every link transmit/drop is
+  /// recorded (sim-time timestamps) under `trace_track` (one Chrome
+  /// swimlane per run; the Monte-Carlo driver assigns run indices).
+  /// Purely observational — never read by the simulation.
+  obs::TraceRing* trace = nullptr;
+  std::uint32_t trace_track = 0;
 };
 
 class PathNetwork {

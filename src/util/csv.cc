@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -94,21 +95,79 @@ bool has_flag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+std::optional<long long> parse_ll(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (negative) i = 1;
+  if (i >= text.size()) return std::nullopt;
+  unsigned long long magnitude = 0;
+  const unsigned long long limit =
+      negative ? 9223372036854775808ULL : 9223372036854775807ULL;
+  for (; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (ch < '0' || ch > '9') return std::nullopt;
+    const unsigned long long digit = static_cast<unsigned long long>(ch - '0');
+    if (magnitude > (limit - digit) / 10) return std::nullopt;  // overflow
+    magnitude = magnitude * 10 + digit;
+  }
+  if (negative) {
+    return static_cast<long long>(~magnitude + 1ULL);
+  }
+  return static_cast<long long>(magnitude);
+}
+
+namespace {
+
+[[noreturn]] void die_bad_value(const char* what, const std::string& name,
+                                const char* value) {
+  std::fprintf(stderr,
+               "error: invalid integer for %s %s: \"%s\" "
+               "(expected base-10 digits)\n",
+               what, name.c_str(), value);
+  std::exit(2);
+}
+
+}  // namespace
+
 long long flag_or_env(int argc, char** argv, const std::string& name,
                       const char* env, long long dflt) {
   const std::string prefix = name + "=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
-      return std::atoll(arg.c_str() + prefix.size());
+      const char* value = arg.c_str() + prefix.size();
+      const auto parsed = parse_ll(value);
+      if (!parsed) die_bad_value("flag", name, value);
+      return *parsed;
     }
   }
   if (env != nullptr) {
     if (const char* v = std::getenv(env); v != nullptr && *v != '\0') {
-      return std::atoll(v);
+      const auto parsed = parse_ll(v);
+      if (!parsed) die_bad_value("environment variable", env, v);
+      return *parsed;
     }
   }
   return dflt;
+}
+
+std::optional<std::string> flag_str(int argc, char** argv,
+                                    const std::string& name) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (arg == name) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: flag %s requires a value\n",
+                     name.c_str());
+        std::exit(2);
+      }
+      return std::string(argv[i + 1]);
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace paai

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace paai {
@@ -43,8 +45,20 @@ std::string fmt_num(double value, int precision = 4);
 /// True when argv contains the given flag (e.g. "--csv").
 bool has_flag(int argc, char** argv, const std::string& flag);
 
-/// Returns the integer value following "--name=" or env fallback, else dflt.
+/// Strict base-10 integer parse: optional leading '-', digits only, no
+/// whitespace, no trailing garbage, rejects overflow and empty input.
+std::optional<long long> parse_ll(std::string_view text);
+
+/// Returns the integer value following "--name=" or env fallback, else
+/// dflt. A malformed value (e.g. PAAI_JOBS=all) is a hard error: prints a
+/// diagnostic naming the offending flag/variable to stderr and exits 2 —
+/// it must never silently become 0/dflt.
 long long flag_or_env(int argc, char** argv, const std::string& name,
                       const char* env, long long dflt);
+
+/// Returns the string value following "--name=" or "--name <value>", else
+/// nullopt. "--name" as the last token (missing value) exits 2.
+std::optional<std::string> flag_str(int argc, char** argv,
+                                    const std::string& name);
 
 }  // namespace paai

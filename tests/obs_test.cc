@@ -1,0 +1,476 @@
+// Tests for the src/obs observability subsystem: metric registry
+// semantics (enabled/disabled, reset, log2 bucketing, exact aggregation
+// under the exec pool), the trace ring (wraparound, Chrome JSON export),
+// the strict JSON writer/parser pair (hostile strings, non-finite
+// numbers, malformed documents), and the BenchReport document schema —
+// every emitted document must survive the strict parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/parallel_for.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/tracer.h"
+#include "runner/montecarlo.h"
+
+namespace paai::obs {
+namespace {
+
+// Every test runs against the (process-global) registry; reset + disable
+// around each use keeps them independent.
+struct RegistryGuard {
+  RegistryGuard() {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().set_enabled(true);
+  }
+  ~RegistryGuard() {
+    MetricsRegistry::global().set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+};
+
+const CounterSnapshot* find_counter(const MetricsSnapshot& snap,
+                                    const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* find_gauge(const MetricsSnapshot& snap,
+                                const std::string& name) {
+  for (const auto& g : snap.gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* find_histogram(const MetricsSnapshot& snap,
+                                        const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(Metrics, CounterBasics) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Counter c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  const auto snap = reg.snapshot();
+  const auto* counter = find_counter(snap, "test.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 42u);
+}
+
+TEST(Metrics, DisabledRegistryRecordsNothing) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Counter c = reg.counter("test.disabled");
+  const Histogram h = reg.histogram("test.disabled_hist");
+  reg.set_enabled(false);
+  c.add(100);
+  h.observe(7);
+  EXPECT_FALSE(c.live());
+  EXPECT_FALSE(h.live());
+  reg.set_enabled(true);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(find_counter(snap, "test.disabled")->value, 0u);
+  EXPECT_EQ(find_histogram(snap, "test.disabled_hist")->count, 0u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add();         // must not crash
+  g.set(5);
+  h.observe(9);
+  EXPECT_FALSE(c.live());
+  EXPECT_FALSE(g.live());
+  EXPECT_FALSE(h.live());
+}
+
+TEST(Metrics, ResetZeroesButKeepsHandles) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Counter c = reg.counter("test.reset");
+  c.add(5);
+  reg.reset();
+  c.add(2);  // handle stays valid after reset
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(find_counter(snap, "test.reset")->value, 2u);
+}
+
+TEST(Metrics, SameNameReturnsSameCells) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Counter a = reg.counter("test.same");
+  const Counter b = reg.counter("test.same");
+  a.add(1);
+  b.add(2);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(find_counter(snap, "test.same")->value, 3u);
+}
+
+TEST(Metrics, GaugeValueAndHighWater) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Gauge g = reg.gauge("test.gauge");
+  g.set(10);
+  g.set(50);
+  g.set(20);
+  const auto snap = reg.snapshot();
+  const auto* gauge = find_gauge(snap, "test.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 20);
+  EXPECT_EQ(gauge->high, 50);
+}
+
+TEST(Metrics, GaugeHighFallsBackToValueWhenNeverRaised) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Gauge g = reg.gauge("test.gauge_neg");
+  g.set(-5);
+  const auto snap = reg.snapshot();
+  const auto* gauge = find_gauge(snap, "test.gauge_neg");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, -5);
+  EXPECT_EQ(gauge->high, -5);
+}
+
+TEST(Metrics, HistogramLog2BucketBoundaries) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Histogram h = reg.histogram("test.hist");
+  // bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b - 1].
+  h.observe(0);                       // bucket 0
+  h.observe(1);                       // bucket 1
+  h.observe(2);                       // bucket 2
+  h.observe(3);                       // bucket 2
+  h.observe(4);                       // bucket 3
+  h.observe(1023);                    // bucket 10
+  h.observe(1024);                    // bucket 11
+  h.observe(std::numeric_limits<std::uint64_t>::max());  // bucket 64
+  const auto snap = reg.snapshot();
+  const auto* hist = find_histogram(snap, "test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 8u);
+  EXPECT_EQ(hist->min, 0u);
+  EXPECT_EQ(hist->max, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(hist->buckets[0], 1u);
+  EXPECT_EQ(hist->buckets[1], 1u);
+  EXPECT_EQ(hist->buckets[2], 2u);
+  EXPECT_EQ(hist->buckets[3], 1u);
+  EXPECT_EQ(hist->buckets[10], 1u);
+  EXPECT_EQ(hist->buckets[11], 1u);
+  EXPECT_EQ(hist->buckets[64], 1u);
+}
+
+TEST(Metrics, HistogramQuantileBounds) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Histogram h = reg.histogram("test.quantile");
+  for (int i = 0; i < 99; ++i) h.observe(5);    // bucket 3, bound 7
+  h.observe(1'000'000);                         // bucket 20
+  const auto snap = reg.snapshot();
+  const auto* hist = find_histogram(snap, "test.quantile");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->quantile_bound(0.5), 7u);
+  EXPECT_GE(hist->quantile_bound(1.0), 1'000'000u);
+  EXPECT_NEAR(hist->mean(), (99.0 * 5.0 + 1e6) / 100.0, 1.0);
+}
+
+TEST(Metrics, ParallelAggregationIsExact) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Counter c = reg.counter("test.parallel");
+  const Histogram h = reg.histogram("test.parallel_hist");
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 1000;
+  exec::parallel_for_each(
+      kTasks,
+      [&](std::size_t) {
+        for (std::uint64_t i = 0; i < kPerTask; ++i) {
+          c.add();
+          h.observe(i);
+        }
+      },
+      /*jobs=*/8);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(find_counter(snap, "test.parallel")->value, kTasks * kPerTask);
+  const auto* hist = find_histogram(snap, "test.parallel_hist");
+  EXPECT_EQ(hist->count, kTasks * kPerTask);
+  EXPECT_EQ(hist->sum, kTasks * (kPerTask * (kPerTask - 1) / 2));
+  EXPECT_EQ(hist->min, 0u);
+  EXPECT_EQ(hist->max, kPerTask - 1);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnlyWhenLive) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  const Histogram h = reg.histogram("test.timer");
+  { ScopedTimer t(h); }
+  reg.set_enabled(false);
+  { ScopedTimer t(h); }
+  reg.set_enabled(true);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(find_histogram(snap, "test.timer")->count, 1u);
+}
+
+// ---------------------------------------------------------------- tracer
+
+TEST(Tracer, RecordsAndExports) {
+  TraceRing ring(16);
+  ring.instant("drop", "sim", 100, /*track=*/1, /*arg=*/4);
+  ring.complete("tx", "sim", 200, /*dur_us=*/5, /*track=*/1);
+  EXPECT_EQ(ring.recorded(), 2u);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  std::ostringstream os;
+  ring.write_chrome_json(os);
+  std::string error;
+  const auto doc = json_parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  EXPECT_EQ(events->array[0].find("name")->string, "drop");
+  EXPECT_EQ(events->array[0].find("ph")->string, "i");
+  EXPECT_EQ(events->array[1].find("ph")->string, "X");
+  EXPECT_EQ(events->array[1].find("dur")->number, 5.0);
+}
+
+TEST(Tracer, WrapOverwritesOldestAndCountsDropped) {
+  TraceRing ring(8);
+  for (int i = 0; i < 20; ++i) {
+    ring.instant("e", "t", i, /*track=*/0, i);
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.retained(), 8u);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  std::ostringstream os;
+  ring.write_chrome_json(os);
+  std::string error;
+  const auto doc = json_parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_EQ(events->array.size(), 8u);
+  // Oldest retained event first: 20 recorded into 8 slots keeps 12..19.
+  EXPECT_EQ(events->array.front().find("ts")->number, 12.0);
+  EXPECT_EQ(events->array.back().find("ts")->number, 19.0);
+  EXPECT_EQ(doc->find("otherData")->find("dropped")->number, 12.0);
+}
+
+TEST(Tracer, ClearEmptiesTheRing) {
+  TraceRing ring(8);
+  ring.instant("e", "t", 1, 0);
+  ring.clear();
+  EXPECT_EQ(ring.retained(), 0u);
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(Json, QuoteEscapesHostileStrings) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote(std::string("a\0b", 3)), "\"a\\u0000b\"");
+  EXPECT_EQ(json_quote("\n\t\r"), "\"\\n\\t\\r\"");
+  EXPECT_EQ(json_quote("\x01"), "\"\\u0001\"");
+}
+
+TEST(Json, NumberMapsNonFiniteToNull) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(1.5), "1.5");
+}
+
+TEST(Json, WriterRoundTripsHostileContent) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("quote\"backslash\\").value("control\x02\x1f chars");
+  w.key("nan").value(std::nan(""));
+  w.key("nested").begin_array();
+  w.value(std::int64_t{-42});
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+
+  std::string error;
+  const auto doc = json_parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error << " in: " << os.str();
+  EXPECT_EQ(doc->find("quote\"backslash\\")->string, "control\x02\x1f chars");
+  EXPECT_TRUE(doc->find("nan")->is_null());
+  const JsonValue* nested = doc->find("nested");
+  ASSERT_EQ(nested->array.size(), 3u);
+  EXPECT_EQ(nested->array[0].number, -42.0);
+  EXPECT_TRUE(nested->array[1].boolean);
+  EXPECT_TRUE(nested->array[2].is_null());
+}
+
+TEST(Json, ParserAcceptsValidDocuments) {
+  EXPECT_TRUE(json_parse("{}").has_value());
+  EXPECT_TRUE(json_parse("[1, 2.5, -3e10, 0]").has_value());
+  EXPECT_TRUE(json_parse("\"\\ud83d\\ude00\"").has_value());  // 😀 pair
+  EXPECT_TRUE(json_parse("  {\"a\": [true, false, null]}  ").has_value());
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("01").has_value());          // leading zero
+  EXPECT_FALSE(json_parse("\"\\x41\"").has_value());   // bad escape
+  EXPECT_FALSE(json_parse("\"\\ud83d\"").has_value()); // lone surrogate
+  EXPECT_FALSE(json_parse("\"\x01\"").has_value());    // raw control char
+  EXPECT_FALSE(json_parse("nulL").has_value());
+  EXPECT_FALSE(json_parse("+1").has_value());
+  // Depth bomb: 100 nested arrays exceeds the 64-deep limit.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_parse(deep).has_value());
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(Report, DocumentMatchesSchemaAndSurvivesStrictParse) {
+  RegistryGuard guard;
+  auto& reg = MetricsRegistry::global();
+  reg.counter("sim.link.0.tx_packets").add(7);
+  reg.gauge("sim.storage.peak_entries").set(12);
+  reg.histogram("runner.run_wall_ns").observe(1500);
+
+  BenchReport report("bench_unit_test");
+  report.set_arg("runs", 10);
+  report.set_arg("label", "with \"quotes\"");
+  report.set_info("protocol", "PAAI-1");
+  report.set_metric("detection_packets", 1234.0);
+  report.set_metric("broken_ratio", std::nan(""));  // must emit null
+  report.set_exec(4, 1.25, 10, 0.12, 0.01, 0.96);
+  report.set_wall_seconds(1.5);
+
+  std::ostringstream os;
+  report.write(os, reg.snapshot());
+
+  std::string error;
+  const auto doc = json_parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->string, kBenchSchema);
+  EXPECT_EQ(doc->find("bench")->string, "bench_unit_test");
+  EXPECT_GT(doc->find("created_unix")->number, 0.0);
+
+  const JsonValue* prov = doc->find("provenance");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_TRUE(prov->find("git_commit")->is_string());
+  EXPECT_TRUE(prov->find("build_type")->is_string());
+  EXPECT_TRUE(prov->find("compiler")->is_string());
+  EXPECT_TRUE(prov->find("sanitizer")->is_string());
+
+  EXPECT_EQ(doc->find("args")->find("runs")->number, 10.0);
+  EXPECT_EQ(doc->find("args")->find("label")->string, "with \"quotes\"");
+  EXPECT_EQ(doc->find("info")->find("protocol")->string, "PAAI-1");
+  EXPECT_EQ(doc->find("results")->find("detection_packets")->number, 1234.0);
+  EXPECT_TRUE(doc->find("results")->find("broken_ratio")->is_null());
+  EXPECT_EQ(doc->find("wall_seconds")->number, 1.5);
+  EXPECT_EQ(doc->find("exec")->find("jobs")->number, 4.0);
+
+  const JsonValue* obs = doc->find("observability");
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->find("counters")->find("sim.link.0.tx_packets")->number,
+            7.0);
+  EXPECT_EQ(obs->find("gauges")->find("sim.storage.peak_entries")
+                ->find("high")->number,
+            12.0);
+  const JsonValue* hist =
+      obs->find("histograms")->find("runner.run_wall_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->number, 1.0);
+  EXPECT_EQ(hist->find("sum")->number, 1500.0);
+  ASSERT_EQ(hist->find("buckets")->array.size(), 1u);
+  EXPECT_EQ(hist->find("buckets")->array[0].array[0].number, 1024.0);
+  EXPECT_EQ(hist->find("buckets")->array[0].array[1].number, 1.0);
+}
+
+// ------------------------------------------------------- integration (MC)
+
+TEST(Integration, MonteCarloPopulatesMetricsAndTrace) {
+  RegistryGuard guard;
+  TraceRing ring(1 << 12);
+
+  runner::MonteCarloConfig mc;
+  mc.base = runner::paper_config(protocols::ProtocolKind::kFullAck, 200, 0);
+  mc.base.checkpoints = {100, 200};
+  mc.runs = 4;
+  mc.seed0 = 42;
+  mc.jobs = 2;
+  mc.trace = &ring;
+  const auto result = runner::run_monte_carlo(mc);
+  EXPECT_EQ(result.runs, 4u);
+
+  const auto snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(find_counter(snap, "runner.runs")->value, 4u);
+  EXPECT_EQ(find_histogram(snap, "runner.run_wall_ns")->count, 4u);
+  EXPECT_GT(find_counter(snap, "sim.link.0.tx_packets")->value, 0u);
+  EXPECT_GT(find_counter(snap, "proto.dest_acks_received")->value, 0u);
+  EXPECT_GT(find_counter(snap, "proto.score.updates")->value, 0u);
+  // Natural loss 1% + malicious l_4 => some probes and some drops.
+  EXPECT_GT(find_counter(snap, "proto.probes_sent")->value, 0u);
+
+  // The per-run "run" span plus per-link events made it into the ring and
+  // the export is strict-parser clean.
+  EXPECT_GT(ring.recorded(), 0u);
+  std::ostringstream os;
+  ring.write_chrome_json(os);
+  std::string error;
+  ASSERT_TRUE(json_parse(os.str(), &error).has_value()) << error;
+}
+
+TEST(Integration, MetricsNeverAffectResults) {
+  // Identical configs with the registry on and off (and with a trace ring
+  // on one side) must produce bit-identical Monte-Carlo aggregates.
+  auto run_once = [](bool instrumented, TraceRing* ring) {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().set_enabled(instrumented);
+    runner::MonteCarloConfig mc;
+    mc.base =
+        runner::paper_config(protocols::ProtocolKind::kPaai1, 400, 0);
+    mc.base.checkpoints = {200, 400};
+    mc.runs = 3;
+    mc.seed0 = 7;
+    mc.jobs = 2;
+    mc.trace = ring;
+    return runner::run_monte_carlo(mc);
+  };
+  TraceRing ring(256);
+  const auto with = run_once(true, &ring);
+  const auto without = run_once(false, nullptr);
+  MetricsRegistry::global().set_enabled(false);
+  MetricsRegistry::global().reset();
+
+  ASSERT_EQ(with.curve.size(), without.curve.size());
+  for (std::size_t i = 0; i < with.curve.size(); ++i) {
+    EXPECT_EQ(with.curve[i].fp, without.curve[i].fp);
+    EXPECT_EQ(with.curve[i].fn, without.curve[i].fn);
+  }
+  EXPECT_EQ(with.total_events, without.total_events);
+  EXPECT_EQ(with.final_e2e_rate.mean(), without.final_e2e_rate.mean());
+}
+
+}  // namespace
+}  // namespace paai::obs

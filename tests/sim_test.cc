@@ -238,5 +238,52 @@ TEST(PathNetwork, DeterministicForSeed) {
   }
 }
 
+TEST(TrafficCounters, RatiosAreZeroWithoutDataTraffic) {
+  // Pure control traffic: the per-data ratios must not divide by zero.
+  TrafficCounters c(4);
+  c.on_transmit(net::PacketType::kProbe, 40, 0);
+  c.on_transmit(net::PacketType::kDestAck, 24, 3);
+  EXPECT_EQ(c.overhead_ratio(), 0.0);
+  EXPECT_EQ(c.control_packets_per_data(), 0.0);
+  EXPECT_EQ(c.total_packets(), 2u);
+  EXPECT_EQ(c.total_bytes(), 64u);
+}
+
+TEST(TrafficCounters, TrueLinkLossOnUntraversedLinkIsZero) {
+  TrafficCounters c(4);
+  // No data packet ever entered link 2 — loss is 0/0, reported as 0, and
+  // out-of-range indices behave the same instead of reading past the end.
+  EXPECT_EQ(c.true_link_loss(2), 0.0);
+  EXPECT_EQ(c.true_link_loss(99), 0.0);
+  EXPECT_EQ(c.data_tx(99), 0u);
+  EXPECT_EQ(c.data_drops(99), 0u);
+  EXPECT_EQ(c.drops_on_link(99), 0u);
+  // One traversal, one drop: loss is exact, neighbours stay untouched.
+  c.on_transmit(net::PacketType::kData, 1500, 1);
+  c.on_link_drop(1, net::PacketType::kData);
+  EXPECT_EQ(c.true_link_loss(1), 1.0);
+  EXPECT_EQ(c.true_link_loss(0), 0.0);
+}
+
+TEST(TrafficCounters, ResetClearsEverything) {
+  TrafficCounters c(2);
+  c.on_transmit(net::PacketType::kData, 1500, 0);
+  c.on_transmit(net::PacketType::kProbe, 40, 0);
+  c.on_link_drop(0, net::PacketType::kData);
+  c.on_link_drop(1, net::PacketType::kProbe);
+  c.reset();
+  EXPECT_EQ(c.total_packets(), 0u);
+  EXPECT_EQ(c.total_bytes(), 0u);
+  EXPECT_EQ(c.data_tx(0), 0u);
+  EXPECT_EQ(c.data_drops(0), 0u);
+  EXPECT_EQ(c.drops_on_link(0), 0u);
+  EXPECT_EQ(c.drops_on_link(1), 0u);
+  EXPECT_EQ(c.true_link_loss(0), 0.0);
+  EXPECT_EQ(c.by_type(net::PacketType::kData).packets, 0u);
+  // The instance stays usable after reset.
+  c.on_transmit(net::PacketType::kData, 100, 1);
+  EXPECT_EQ(c.data_tx(1), 1u);
+}
+
 }  // namespace
 }  // namespace paai::sim

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "util/bytes.h"
@@ -196,6 +198,73 @@ TEST(Flags, ParsesFlagsAndEnv) {
   EXPECT_FALSE(has_flag(3, argv, "--json"));
   EXPECT_EQ(flag_or_env(3, argv, "--runs", nullptr, 7), 25);
   EXPECT_EQ(flag_or_env(3, argv, "--packets", nullptr, 7), 7);
+}
+
+TEST(Flags, ParseLlAcceptsBase10Integers) {
+  EXPECT_EQ(parse_ll("0"), 0);
+  EXPECT_EQ(parse_ll("42"), 42);
+  EXPECT_EQ(parse_ll("-17"), -17);
+  EXPECT_EQ(parse_ll("9223372036854775807"),
+            std::numeric_limits<long long>::max());
+  EXPECT_EQ(parse_ll("-9223372036854775808"),
+            std::numeric_limits<long long>::min());
+}
+
+TEST(Flags, ParseLlRejectsGarbage) {
+  EXPECT_FALSE(parse_ll("").has_value());
+  EXPECT_FALSE(parse_ll("-").has_value());
+  EXPECT_FALSE(parse_ll("all").has_value());
+  EXPECT_FALSE(parse_ll("12x").has_value());
+  EXPECT_FALSE(parse_ll("x12").has_value());
+  EXPECT_FALSE(parse_ll(" 12").has_value());
+  EXPECT_FALSE(parse_ll("1.5").has_value());
+  EXPECT_FALSE(parse_ll("+5").has_value());
+  EXPECT_FALSE(parse_ll("0x10").has_value());
+  EXPECT_FALSE(parse_ll("9223372036854775808").has_value());   // max+1
+  EXPECT_FALSE(parse_ll("-9223372036854775809").has_value());  // min-1
+}
+
+TEST(FlagsDeathTest, InvalidFlagValueExitsWithError) {
+  const char* argv_c[] = {"prog", "--runs=many"};
+  char** argv = const_cast<char**>(argv_c);
+  EXPECT_EXIT(flag_or_env(2, argv, "--runs", nullptr, 7),
+              testing::ExitedWithCode(2), "invalid integer for flag --runs");
+}
+
+TEST(FlagsDeathTest, InvalidEnvValueExitsWithError) {
+  // PAAI_JOBS=all must be a hard error, not a silent fall-back to the
+  // default (the bug this guards against).
+  const char* argv_c[] = {"prog"};
+  char** argv = const_cast<char**>(argv_c);
+  setenv("PAAI_TEST_BADENV", "all", 1);
+  EXPECT_EXIT(flag_or_env(1, argv, "--jobs", "PAAI_TEST_BADENV", 0),
+              testing::ExitedWithCode(2),
+              "invalid integer for environment variable PAAI_TEST_BADENV");
+  unsetenv("PAAI_TEST_BADENV");
+}
+
+TEST(Flags, ValidEnvValueIsUsed) {
+  const char* argv_c[] = {"prog"};
+  char** argv = const_cast<char**>(argv_c);
+  setenv("PAAI_TEST_GOODENV", "12", 1);
+  EXPECT_EQ(flag_or_env(1, argv, "--jobs", "PAAI_TEST_GOODENV", 0), 12);
+  unsetenv("PAAI_TEST_GOODENV");
+}
+
+TEST(Flags, FlagStrParsesBothForms) {
+  const char* argv_c[] = {"prog", "--metrics-out=a.json", "--trace-out",
+                          "b.json"};
+  char** argv = const_cast<char**>(argv_c);
+  EXPECT_EQ(flag_str(4, argv, "--metrics-out").value(), "a.json");
+  EXPECT_EQ(flag_str(4, argv, "--trace-out").value(), "b.json");
+  EXPECT_FALSE(flag_str(4, argv, "--absent").has_value());
+}
+
+TEST(FlagsDeathTest, FlagStrMissingValueExitsWithError) {
+  const char* argv_c[] = {"prog", "--metrics-out"};
+  char** argv = const_cast<char**>(argv_c);
+  EXPECT_EXIT(flag_str(2, argv, "--metrics-out"),
+              testing::ExitedWithCode(2), "requires a value");
 }
 
 TEST(Wire, ScalarRoundTrip) {

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark snapshot.
+#
+# Runs a fast, fixed subset of the bench suite with --metrics-out and
+# bundles the per-bench documents into one suite document:
+#
+#   BENCH_<label>.json = {
+#     "schema": "paai.bench.suite.v1",
+#     "label": "<label>",
+#     "created_unix": <seconds>,
+#     "benches": { "<name>": <paai.bench.v1 document>, ... }
+#   }
+#
+# Pure bash + the bench binaries themselves — no jq/python. The per-bench
+# documents are emitted by src/obs (BenchReport) and are strict-JSON by
+# construction (tests/obs_test.cc round-trips them through the strict
+# parser), so embedding them verbatim keeps the suite document valid.
+#
+# Usage: tools/bench_snapshot.sh [label [build-dir]]
+#        (defaults: label=$(git rev-parse --short HEAD), build-dir=build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+BUILD_DIR="${2:-build}"
+OUT="BENCH_${LABEL}.json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+# name:binary:extra-args — a subset that finishes in a few minutes and
+# still covers analytic bounds, a detection curve, the overhead/practicality
+# numbers, and the obs hot-path micro costs.
+SPECS=(
+  "bench_table1:bench_table1:"
+  "bench_fig2_fullack:bench_fig2_fullack:--scale=5 --runs=8"
+  "bench_ablation:bench_ablation:--scale=10 --runs=6"
+  "bench_micro:bench_micro:--benchmark_filter=BM_CounterAdd|BM_HistogramObserve|BM_Sha256|BM_EventQueue"
+)
+
+names=()
+for spec in "${SPECS[@]}"; do
+  name="${spec%%:*}"
+  rest="${spec#*:}"
+  bin="${rest%%:*}"
+  extra="${rest#*:}"
+  echo "[snapshot] $name ..."
+  # shellcheck disable=SC2086  # $extra is intentionally word-split
+  "$BUILD_DIR/bench/$bin" $extra --metrics-out "$TMP_DIR/$name.json" \
+      > "$TMP_DIR/$name.stdout" 2> "$TMP_DIR/$name.stderr"
+  names+=("$name")
+done
+
+{
+  printf '{"schema":"paai.bench.suite.v1","label":%s,"created_unix":%s,"benches":{' \
+      "\"$LABEL\"" "$(date +%s)"
+  first=1
+  for name in "${names[@]}"; do
+    [[ $first -eq 1 ]] || printf ','
+    first=0
+    printf '"%s":' "$name"
+    cat "$TMP_DIR/$name.json"
+  done
+  printf '}}\n'
+} > "$OUT"
+
+echo "[snapshot] wrote $OUT ($(wc -c < "$OUT") bytes, ${#names[@]} benches)"

@@ -1,23 +1,45 @@
 #!/usr/bin/env bash
-# Concurrency check: build the ThreadSanitizer configuration and run the
-# exec + runner test suites under it. Catches data races in the parallel
-# execution engine (src/exec) and in anything run_experiment touches —
-# the other half of the determinism story (the jobs=1 vs jobs=8
-# bit-identity test in exec_test) runs in the normal config via ctest.
+# Sanitizer checks, two legs:
 #
-# Usage: tools/check.sh [build-dir]    (default: build-tsan)
+#   1. ThreadSanitizer — exec + runner + fleet + obs test suites. Catches
+#      data races in the parallel execution engine (src/exec), in anything
+#      run_experiment touches, and in the lock-free metrics/tracer shards
+#      (src/obs) that runs write concurrently. The other half of the
+#      determinism story (the jobs=1 vs jobs=8 bit-identity test in
+#      exec_test) runs in the normal config via ctest.
+#
+#   2. AddressSanitizer + UBSan (hard-fail, -fno-sanitize-recover=all) —
+#      the memory-facing suites: obs (JSON parser on hostile input, ring
+#      indexing), util (wire codec fuzz loop), sim, exec.
+#
+# Usage: tools/check.sh [tsan-build-dir [asan-build-dir]]
+#        (defaults: build-tsan build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
+TSAN_DIR="${1:-build-tsan}"
+ASAN_DIR="${2:-build-asan}"
 
-cmake -B "$BUILD_DIR" -S . -DPAAI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target exec_test runner_test fleet_test -j "$(nproc)"
+echo "== leg 1: ThreadSanitizer =="
+cmake -B "$TSAN_DIR" -S . -DPAAI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_DIR" --target exec_test runner_test fleet_test obs_test -j "$(nproc)"
 
 # TSAN_OPTIONS makes races hard failures rather than log noise.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-"$BUILD_DIR/tests/exec_test"
-"$BUILD_DIR/tests/runner_test"
-"$BUILD_DIR/tests/fleet_test"
+"$TSAN_DIR/tests/exec_test"
+"$TSAN_DIR/tests/runner_test"
+"$TSAN_DIR/tests/fleet_test"
+"$TSAN_DIR/tests/obs_test"
 
-echo "check.sh: exec + runner + fleet tests clean under TSan"
+echo "== leg 2: AddressSanitizer + UBSan =="
+cmake -B "$ASAN_DIR" -S . -DPAAI_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ASAN_DIR" --target obs_test util_test sim_test exec_test -j "$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+"$ASAN_DIR/tests/obs_test"
+"$ASAN_DIR/tests/util_test"
+"$ASAN_DIR/tests/sim_test"
+"$ASAN_DIR/tests/exec_test"
+
+echo "check.sh: TSan (exec/runner/fleet/obs) and ASan+UBSan (obs/util/sim/exec) clean"
