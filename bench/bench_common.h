@@ -15,8 +15,11 @@
 //                       metrics registry for the process
 //   --trace-out FILE    write a Chrome trace_event JSON (load in
 //                       chrome://tracing or https://ui.perfetto.dev)
+//   --faults SPEC       scripted benign fault plan (compact grammar or
+//                       JSON; see docs/FAULTS.md) applied to every run
 // Malformed integer flag/env values are a hard error (exit 2), never a
-// silent default.
+// silent default; a malformed --faults spec throws from parse() with a
+// diagnostic naming the offending clause.
 #pragma once
 
 #include <chrono>
@@ -27,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "faults/plan.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
@@ -42,6 +46,7 @@ struct BenchArgs {
   std::size_t jobs = 0;    // 0 = hardware concurrency
   std::optional<std::string> metrics_out;
   std::optional<std::string> trace_out;
+  faults::FaultPlan faults{};
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -54,6 +59,9 @@ struct BenchArgs {
     args.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
     args.metrics_out = flag_str(argc, argv, "--metrics-out");
     args.trace_out = flag_str(argc, argv, "--trace-out");
+    if (const auto spec = flag_str(argc, argv, "--faults")) {
+      args.faults = faults::FaultPlan::parse(*spec);
+    }
     return args;
   }
 

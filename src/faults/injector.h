@@ -1,0 +1,65 @@
+// FaultInjector: installs a FaultPlan into a built PathNetwork.
+//
+// Construction attaches the Gilbert–Elliott processes and reorder/dup
+// knobs to their links, then schedules every retune and outage as plain
+// simulator events — fault events share the event queue's strict
+// (time, seq) total order with the traffic, so a plan perturbs a run
+// deterministically and bit-identically across --jobs values.
+//
+// The injector owns all fault state (loss processes) and must outlive the
+// simulation; run_experiment keeps one on the stack next to the network.
+//
+// Index validation happens here, where the path length is known: link
+// indices must be < d, and outages may only target intermediate nodes
+// F_1..F_{d-1} — the paper's S and D are trusted infrastructure and, more
+// to the point, a dead source/destination makes every identification
+// question moot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faults/loss_process.h"
+#include "faults/plan.h"
+#include "obs/metrics.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace paai::faults {
+
+/// Fault-event observability handles (faults.* in the registry); inert
+/// until the global registry is enabled, like every obs handle.
+struct FaultObs {
+  obs::Counter outages;      // crash events fired
+  obs::Counter restarts;     // restart events fired
+  obs::Counter retunes;      // link retunes applied
+  obs::Counter node_drops;   // deliveries blackholed by down nodes
+};
+
+class FaultInjector {
+ public:
+  /// Throws std::invalid_argument for out-of-range link/node indices or
+  /// parameter values the link layer rejects.
+  FaultInjector(sim::Simulator& sim, sim::PathNetwork& net,
+                const FaultPlan& plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Call after the simulation drained: folds ground-truth fault tallies
+  /// (blackholed deliveries) into the registry. No-op while the registry
+  /// is disabled; never read back into any result.
+  void finish();
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::PathNetwork& net_;
+  FaultPlan plan_;
+  FaultObs obs_;
+  std::vector<std::unique_ptr<GilbertElliott>> processes_;
+};
+
+}  // namespace paai::faults

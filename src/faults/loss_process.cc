@@ -1,0 +1,47 @@
+#include "faults/loss_process.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace paai::faults {
+
+namespace {
+
+void check_probability(double value, const char* what) {
+  if (!(value >= 0.0 && value <= 1.0)) {  // NaN fails both comparisons
+    throw std::invalid_argument(std::string("GilbertElliott: ") + what +
+                                " must be within [0, 1], got " +
+                                std::to_string(value));
+  }
+}
+
+}  // namespace
+
+GilbertElliott::GilbertElliott(const Params& params) : params_(params) {
+  check_probability(params.loss_good, "loss_good");
+  check_probability(params.loss_bad, "loss_bad");
+  check_probability(params.good_to_bad, "good_to_bad");
+  check_probability(params.bad_to_good, "bad_to_good");
+  if (params.good_to_bad + params.bad_to_good <= 0.0) {
+    throw std::invalid_argument(
+        "GilbertElliott: chain must be able to move "
+        "(good_to_bad + bad_to_good > 0)");
+  }
+}
+
+bool GilbertElliott::drop(sim::SimTime /*now*/, Rng& rng) {
+  const double flip = bad_ ? params_.bad_to_good : params_.good_to_bad;
+  if (rng.bernoulli(flip)) {
+    bad_ = !bad_;
+    ++transitions_;
+  }
+  return rng.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double GilbertElliott::stationary_loss() const {
+  const double pi_bad =
+      params_.good_to_bad / (params_.good_to_bad + params_.bad_to_good);
+  return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
+}
+
+}  // namespace paai::faults

@@ -1,0 +1,53 @@
+// Benign-fault loss models beyond the paper's i.i.d. Bernoulli coin.
+//
+// The paper's §3.2/§8.1 loss model is memoryless; real links exhibit
+// bursty, correlated loss. The classic two-state Gilbert–Elliott chain
+// captures that regime: a link is in a Good or Bad state, each with its
+// own per-traversal drop probability, and flips state with fixed
+// per-traversal transition probabilities. Mean burst length is
+// 1 / bad_to_good traversals; the long-run loss rate is the stationary
+// mixture — benign plans are calibrated so that it stays near the natural
+// rate rho even though losses arrive in clumps.
+//
+// Determinism: a process draws only from the RNG the owning link passes
+// in (each link has a private stream forked from the path seed), so runs
+// are bit-identical across --jobs values and across repetitions.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/link.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace paai::faults {
+
+/// Gilbert–Elliott two-state bursty loss. Parameters are per-traversal
+/// probabilities; construction validates them (throws
+/// std::invalid_argument on NaN or out-of-range).
+class GilbertElliott final : public sim::LossProcess {
+ public:
+  struct Params {
+    double loss_good = 0.0;     // drop probability in the Good state
+    double loss_bad = 0.0;      // drop probability in the Bad state
+    double good_to_bad = 0.0;   // per-traversal P[Good -> Bad]
+    double bad_to_good = 1.0;   // per-traversal P[Bad -> Good]
+  };
+
+  explicit GilbertElliott(const Params& params);
+
+  bool drop(sim::SimTime now, Rng& rng) override;
+
+  /// Long-run loss rate: the stationary Good/Bad mixture of the chain.
+  double stationary_loss() const;
+
+  bool in_bad_state() const { return bad_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  Params params_;
+  bool bad_ = false;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace paai::faults

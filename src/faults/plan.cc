@@ -1,0 +1,348 @@
+#include "faults/plan.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace paai::faults {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw std::invalid_argument("FaultPlan: " + message);
+}
+
+double parse_double(std::string_view text, const std::string& what) {
+  double value = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(value)) {
+    bad("bad number for " + what + ": '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::size_t parse_index(std::string_view text, const std::string& what) {
+  std::size_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    bad("bad index for " + what + ": '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+void check_probability(double value, const std::string& what) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    bad(what + " must be within [0, 1], got " + std::to_string(value));
+  }
+}
+
+void check_nonnegative(double value, const std::string& what) {
+  if (!(value >= 0.0)) {
+    bad(what + " must be >= 0, got " + std::to_string(value));
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\n' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\n' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// One clause, kind-agnostic: index plus key=value pairs.
+struct Clause {
+  std::string kind;
+  std::size_t index = 0;
+  std::vector<std::pair<std::string, double>> kv;
+
+  std::optional<double> get(std::string_view key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+
+  double require(std::string_view key) const {
+    const auto v = get(key);
+    if (!v) bad(kind + " clause needs " + std::string(key) + "=");
+    return *v;
+  }
+
+  void check_keys(std::initializer_list<std::string_view> allowed) const {
+    for (const auto& [k, v] : kv) {
+      (void)v;
+      if (std::find(allowed.begin(), allowed.end(), k) == allowed.end()) {
+        bad("unknown key '" + k + "' in " + kind + " clause");
+      }
+    }
+  }
+};
+
+void apply_clause(FaultPlan& plan, const Clause& c) {
+  if (c.kind == "ge") {
+    c.check_keys({"pg", "pb", "g2b", "b2g"});
+    GilbertElliottFault f;
+    f.link = c.index;
+    f.params.loss_good = c.get("pg").value_or(0.0);
+    f.params.loss_bad = c.require("pb");
+    f.params.good_to_bad = c.require("g2b");
+    f.params.bad_to_good = c.require("b2g");
+    check_probability(f.params.loss_good, "ge pg");
+    check_probability(f.params.loss_bad, "ge pb");
+    check_probability(f.params.good_to_bad, "ge g2b");
+    check_probability(f.params.bad_to_good, "ge b2g");
+    plan.gilbert.push_back(f);
+  } else if (c.kind == "set") {
+    c.check_keys({"t", "loss", "lat", "jitter"});
+    LinkRetune r;
+    r.link = c.index;
+    r.at_seconds = c.get("t").value_or(0.0);
+    r.loss = c.get("loss");
+    r.latency_ms = c.get("lat");
+    r.jitter_ms = c.get("jitter");
+    check_nonnegative(r.at_seconds, "set t");
+    if (!r.loss && !r.latency_ms && !r.jitter_ms) {
+      bad("set clause needs at least one of loss=, lat=, jitter=");
+    }
+    if (r.loss) check_probability(*r.loss, "set loss");
+    if (r.latency_ms) check_nonnegative(*r.latency_ms, "set lat");
+    if (r.jitter_ms) check_nonnegative(*r.jitter_ms, "set jitter");
+    plan.retunes.push_back(r);
+  } else if (c.kind == "outage") {
+    c.check_keys({"t", "dur"});
+    NodeOutage o;
+    o.node = c.index;
+    o.at_seconds = c.require("t");
+    o.duration_seconds = c.require("dur");
+    check_nonnegative(o.at_seconds, "outage t");
+    if (!(o.duration_seconds > 0.0)) {
+      bad("outage dur must be > 0, got " +
+          std::to_string(o.duration_seconds));
+    }
+    plan.outages.push_back(o);
+  } else if (c.kind == "reorder") {
+    c.check_keys({"p", "delay"});
+    ReorderFault r;
+    r.link = c.index;
+    r.probability = c.require("p");
+    r.extra_delay_ms = c.require("delay");
+    check_probability(r.probability, "reorder p");
+    check_nonnegative(r.extra_delay_ms, "reorder delay");
+    plan.reorders.push_back(r);
+  } else if (c.kind == "dup") {
+    c.check_keys({"p"});
+    DuplicateFault d;
+    d.link = c.index;
+    d.probability = c.require("p");
+    check_probability(d.probability, "dup p");
+    plan.duplicates.push_back(d);
+  } else {
+    bad("unknown clause kind '" + c.kind +
+        "' (expected ge, set, outage, reorder, or dup)");
+  }
+}
+
+FaultPlan parse_compact(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+    const std::string_view raw = trim(spec.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (raw.empty()) continue;
+
+    Clause c;
+    const std::size_t at = raw.find('@');
+    const std::size_t colon = raw.find(':');
+    if (at == std::string_view::npos || colon == std::string_view::npos ||
+        colon < at) {
+      bad("clause '" + std::string(raw) +
+          "' does not match kind@index:key=value[,key=value...]");
+    }
+    c.kind = std::string(trim(raw.substr(0, at)));
+    c.index = parse_index(trim(raw.substr(at + 1, colon - at - 1)),
+                          c.kind + " index");
+    std::string_view rest = raw.substr(colon + 1);
+    std::size_t kpos = 0;
+    while (kpos <= rest.size()) {
+      const std::size_t comma = std::min(rest.find(',', kpos), rest.size());
+      const std::string_view kv = trim(rest.substr(kpos, comma - kpos));
+      kpos = comma + 1;
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        bad("expected key=value, got '" + std::string(kv) + "' in " +
+            c.kind + " clause");
+      }
+      const std::string key(trim(kv.substr(0, eq)));
+      c.kv.emplace_back(key,
+                        parse_double(trim(kv.substr(eq + 1)),
+                                     c.kind + " " + key));
+    }
+    if (c.kv.empty()) bad(c.kind + " clause has no key=value pairs");
+    apply_clause(plan, c);
+  }
+  return plan;
+}
+
+FaultPlan parse_json(std::string_view spec) {
+  std::string error;
+  const auto doc = obs::json_parse(spec, &error);
+  if (!doc) bad("JSON parse error: " + error);
+  const obs::JsonValue* clauses = &*doc;
+  if (doc->is_object()) {
+    clauses = doc->find("faults");
+    if (clauses == nullptr || !clauses->is_array()) {
+      bad("JSON object form needs a \"faults\" array member");
+    }
+  } else if (!doc->is_array()) {
+    bad("JSON form must be an array of clause objects");
+  }
+
+  FaultPlan plan;
+  for (const auto& entry : clauses->array) {
+    if (!entry.is_object()) bad("JSON clause must be an object");
+    Clause c;
+    bool have_index = false;
+    for (const auto& [key, value] : entry.object) {
+      if (key == "kind") {
+        if (!value.is_string()) bad("JSON clause \"kind\" must be a string");
+        c.kind = value.string;
+        continue;
+      }
+      if (!value.is_number()) {
+        bad("JSON clause key '" + key + "' must be a number");
+      }
+      if (key == "link" || key == "node") {
+        if (!(value.number >= 0.0)) bad(key + " must be >= 0");
+        c.index = static_cast<std::size_t>(value.number);
+        have_index = true;
+        continue;
+      }
+      c.kv.emplace_back(key, value.number);
+    }
+    if (c.kind.empty()) bad("JSON clause is missing \"kind\"");
+    if (!have_index) bad(c.kind + " JSON clause needs \"link\" or \"node\"");
+    apply_clause(plan, c);
+  }
+  return plan;
+}
+
+std::string fmt(double value) {
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc{} ? std::string(buffer, ptr) : "0";
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  const std::string_view trimmed = trim(spec);
+  if (trimmed.empty()) return FaultPlan{};
+  if (trimmed.front() == '[' || trimmed.front() == '{') {
+    return parse_json(trimmed);
+  }
+  return parse_compact(trimmed);
+}
+
+double FaultPlan::max_latency_ms() const {
+  double worst = 0.0;
+  for (const auto& r : retunes) {
+    if (r.latency_ms) worst = std::max(worst, *r.latency_ms);
+  }
+  return worst;
+}
+
+double FaultPlan::max_extra_delay_ms() const {
+  double worst_jitter = 0.0;
+  for (const auto& r : retunes) {
+    if (r.jitter_ms) worst_jitter = std::max(worst_jitter, *r.jitter_ms);
+  }
+  double worst_reorder = 0.0;
+  for (const auto& r : reorders) {
+    worst_reorder = std::max(worst_reorder, r.extra_delay_ms);
+  }
+  return worst_jitter + worst_reorder;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += ';';
+    out += text;
+  };
+  for (const auto& g : gilbert) {
+    clause("ge@" + std::to_string(g.link) + ":pg=" + fmt(g.params.loss_good) +
+           ",pb=" + fmt(g.params.loss_bad) +
+           ",g2b=" + fmt(g.params.good_to_bad) +
+           ",b2g=" + fmt(g.params.bad_to_good));
+  }
+  for (const auto& r : retunes) {
+    std::string text =
+        "set@" + std::to_string(r.link) + ":t=" + fmt(r.at_seconds);
+    if (r.loss) text += ",loss=" + fmt(*r.loss);
+    if (r.latency_ms) text += ",lat=" + fmt(*r.latency_ms);
+    if (r.jitter_ms) text += ",jitter=" + fmt(*r.jitter_ms);
+    clause(text);
+  }
+  for (const auto& o : outages) {
+    clause("outage@" + std::to_string(o.node) + ":t=" + fmt(o.at_seconds) +
+           ",dur=" + fmt(o.duration_seconds));
+  }
+  for (const auto& r : reorders) {
+    clause("reorder@" + std::to_string(r.link) + ":p=" + fmt(r.probability) +
+           ",delay=" + fmt(r.extra_delay_ms));
+  }
+  for (const auto& d : duplicates) {
+    clause("dup@" + std::to_string(d.link) + ":p=" + fmt(d.probability));
+  }
+  return out;
+}
+
+const std::vector<NamedPlan>& benign_plans() {
+  // Calibration notes (paper path: d = 6, rho = 0.01, threshold 0.018,
+  // 100 pps, 60k packets = 600 s):
+  //  * ge-burst: stationary loss ~0.0108 on l_2 (mean burst ~6.7
+  //    traversals) — bursty but time-averaged right at rho.
+  //  * loss-churn: l_1 alternates 0.002/0.02 in 100-150 s segments and
+  //    *ends low*, so the time average stays below the threshold at any
+  //    horizon.
+  //  * latency-churn: l_3's base latency walks inside the configured SLA
+  //    ([0, 5] ms) with a jitter retune the provisioning rule absorbs.
+  //  * node-outage: two short crashes (~250 packets total); the blame
+  //    each adjacent link absorbs is ~0.3% — well under the 0.8% margin.
+  //  * reorder-dup: reordering/duplication only; no loss at all beyond
+  //    rho, so it isolates the protocols' tolerance of disordered
+  //    delivery.
+  //  * everything: all of the above at reduced intensity on disjoint
+  //    links.
+  static const std::vector<NamedPlan> kPlans = {
+      {"ge-burst", "ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15"},
+      {"loss-churn",
+       "set@1:t=0,loss=0.002;set@1:t=150,loss=0.02;set@1:t=300,loss=0.002;"
+       "set@1:t=450,loss=0.02;set@1:t=550,loss=0.002"},
+      {"latency-churn",
+       "set@3:t=60,lat=4.5,jitter=0.5;set@3:t=240,lat=1;"
+       "set@3:t=420,lat=4.8,jitter=1"},
+      {"node-outage", "outage@3:t=120,dur=1.5;outage@2:t=360,dur=1"},
+      {"reorder-dup", "reorder@1:p=0.05,delay=2;dup@4:p=0.01"},
+      {"everything",
+       "ge@2:pg=0.004,pb=0.2,g2b=0.002,b2g=0.2;"
+       "set@1:t=100,loss=0.015;set@1:t=250,loss=0.002;"
+       "outage@4:t=180,dur=1;reorder@5:p=0.02,delay=1;dup@0:p=0.005"},
+  };
+  return kPlans;
+}
+
+}  // namespace paai::faults

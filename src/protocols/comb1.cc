@@ -32,8 +32,7 @@ Comb1Source::Comb1Source(const ProtocolContext& ctx)
           static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
 
 void Comb1Source::start() {
-  pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2);
+  pending_.attach(node(), ctx_.r0() / 2);
   node().sim().after(send_period_, [this] { send_next(); });
 }
 
@@ -161,8 +160,7 @@ Comb1Destination::Comb1Destination(const ProtocolContext& ctx)
                ctx.params().probe_probability),
       pending_(nullptr) {}
 
-void Comb1Destination::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2); }
+void Comb1Destination::start() { pending_.attach(node(), ctx_.r0() / 2); }
 
 void Comb1Destination::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());

@@ -53,8 +53,7 @@ FullAckSource::FullAckSource(const ProtocolContext& ctx)
           static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
 
 void FullAckSource::start() {
-  pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2);
+  pending_.attach(node(), ctx_.r0() / 2);
   node().sim().after(send_period_, [this] { send_next(); });
 }
 
@@ -187,8 +186,7 @@ double FullAckSource::observed_e2e_rate() const {
 
 // ----------------------------------------------------------------- relay
 
-void FullAckRelay::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx().r0() / 2); }
+void FullAckRelay::start() { pending_.attach(node(), ctx().r0() / 2); }
 
 Bytes FullAckRelay::local_report(const net::PacketId& id) const {
   WireWriter w;
@@ -286,8 +284,7 @@ void FullAckRelay::on_wait_timeout(const net::PacketId& id) {
 
 // ----------------------------------------------------------- destination
 
-void FullAckDestination::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2); }
+void FullAckDestination::start() { pending_.attach(node(), ctx_.r0() / 2); }
 
 void FullAckDestination::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());

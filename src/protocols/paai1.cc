@@ -92,8 +92,7 @@ Paai1Source::Paai1Source(const ProtocolContext& ctx)
           static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
 
 void Paai1Source::start() {
-  pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2);
+  pending_.attach(node(), ctx_.r0() / 2);
   node().sim().after(send_period_, [this] { send_next(); });
 }
 
@@ -224,8 +223,7 @@ double Paai1Source::observed_e2e_rate() const {
 
 // ----------------------------------------------------------------- relay
 
-void Paai1Relay::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx().r0() / 2); }
+void Paai1Relay::start() { pending_.attach(node(), ctx().r0() / 2); }
 
 void Paai1Relay::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());
@@ -323,8 +321,7 @@ void Paai1Relay::on_wait_timeout(const net::PacketId& id) {
 
 // ----------------------------------------------------------- destination
 
-void Paai1Destination::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2); }
+void Paai1Destination::start() { pending_.attach(node(), ctx_.r0() / 2); }
 
 void Paai1Destination::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());

@@ -77,8 +77,7 @@ Paai2Source::Paai2Source(const ProtocolContext& ctx, bool sampled_mode)
           static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
 
 void Paai2Source::start() {
-  pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2);
+  pending_.attach(node(), ctx_.r0() / 2);
   node().sim().after(send_period_, [this] { send_next(); });
 }
 
@@ -222,8 +221,7 @@ void Paai2Source::handle_report(const net::ReportAck& ack) {
 
 // ----------------------------------------------------------------- relay
 
-void Paai2Relay::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx().r0() / 2); }
+void Paai2Relay::start() { pending_.attach(node(), ctx().r0() / 2); }
 
 void Paai2Relay::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());
@@ -338,8 +336,7 @@ Paai2Destination::Paai2Destination(const ProtocolContext& ctx,
                        ctx.params().probe_probability),
       pending_(nullptr) {}
 
-void Paai2Destination::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2); }
+void Paai2Destination::start() { pending_.attach(node(), ctx_.r0() / 2); }
 
 void Paai2Destination::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());

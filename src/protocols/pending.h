@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "net/packet.h"
+#include "sim/node.h"
 #include "sim/simulator.h"
 #include "sim/storage.h"
 #include "sim/time.h"
@@ -46,6 +47,25 @@ class PendingStore {
   void enable_auto_purge(sim::Simulator* sim, sim::SimDuration period) {
     sim_ = sim;
     purge_period_ = period;
+  }
+
+  /// Binds the store to its node: meters storage there, arms the
+  /// auto-purge timer, and registers a crash hook so a node outage drops
+  /// every in-flight entry — packet-identifier state lives in volatile
+  /// memory, so a crashed node forgets it. Agents call this from start().
+  void attach(sim::Node& node, sim::SimDuration purge_period) {
+    set_meter(&node.storage());
+    enable_auto_purge(&node.sim(), purge_period);
+    node.add_crash_hook([this] { clear(); });
+  }
+
+  /// Drops every entry immediately (crash semantics). The auto-purge
+  /// timer is left alone: an armed one fires on an empty map and goes
+  /// quiet; the next put() re-arms it.
+  void clear() {
+    if (meter_ != nullptr) meter_->remove(map_.size());
+    map_.clear();
+    fifo_.clear();
   }
 
   /// Inserts (or replaces) state for `id`, expiring at `expiry`.

@@ -76,8 +76,7 @@ SigAckSource::SigAckSource(const ProtocolContext& ctx)
           static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
 
 void SigAckSource::start() {
-  pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2);
+  pending_.attach(node(), ctx_.r0() / 2);
   node().sim().after(send_period_, [this] { send_next(); });
 }
 
@@ -170,8 +169,7 @@ double SigAckSource::observed_e2e_rate() const {
 
 // ----------------------------------------------------------------- relay
 
-void SigAckRelay::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx().r0() / 2); }
+void SigAckRelay::start() { pending_.attach(node(), ctx().r0() / 2); }
 
 void SigAckRelay::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());
@@ -212,8 +210,7 @@ void SigAckRelay::on_packet(const sim::PacketEnv& env) {
 
 // ----------------------------------------------------------- destination
 
-void SigAckDestination::start() { pending_.set_meter(&node().storage());
-  pending_.enable_auto_purge(&node().sim(), ctx_.r0() / 2); }
+void SigAckDestination::start() { pending_.attach(node(), ctx_.r0() / 2); }
 
 void SigAckDestination::on_packet(const sim::PacketEnv& env) {
   pending_.purge(node().sim().now());

@@ -64,6 +64,16 @@ class StatFlRelay final : public RelayBase {
 
   void on_packet(const sim::PacketEnv& env) override;
 
+  /// A crashed node loses its volatile interval counters; the interval in
+  /// flight under-reports and the source's per-interval estimate absorbs
+  /// it (bounded by one interval's worth of samples — the chaos suite
+  /// checks it stays below the accusation threshold at paper scale).
+  void on_crash() override {
+    count_ = 0;
+    snapshot_ = 0;
+    snapshot_interval_ = ~0ULL;
+  }
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t snapshot_ = 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "crypto/keystore.h"
+#include "faults/injector.h"
 #include "obs/metrics.h"
 #include "protocols/factory.h"
 #include "sim/simulator.h"
@@ -40,7 +42,19 @@ std::unique_ptr<adversary::Strategy> make_strategy(const AdversarySpec& spec,
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Simulator simulator;
-  sim::PathNetwork net(simulator, config.path);
+
+  // Provision the wait-timer cascade for the fault schedule: latency
+  // retunes above the configured maximum and reordering delay widen the
+  // RTT bounds (and nothing else — link construction and RNG streams are
+  // untouched, so an empty plan leaves runs bit-identical).
+  sim::PathConfig path_config = config.path;
+  if (!config.faults.empty()) {
+    path_config.extra_rtt_slack_ms +=
+        std::max(0.0,
+                 config.faults.max_latency_ms() - path_config.max_latency_ms) +
+        config.faults.max_extra_delay_ms();
+  }
+  sim::PathNetwork net(simulator, path_config);
 
   const auto provider = crypto::make_crypto(config.crypto);
   const crypto::KeyStore keys(crypto::test_master_key(config.path.seed),
@@ -65,6 +79,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           .set_loss_rate(1.0 - (1.0 - config.path.natural_loss) *
                                    (1.0 - fault.extra_loss));
     }
+  }
+
+  // Scripted benign faults come last so a Gilbert-Elliott clause replaces
+  // whatever loss rate (natural or composed) its link currently has.
+  std::optional<faults::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(simulator, net, config.faults);
   }
 
   protocols::SourceHandle* source =
@@ -134,6 +155,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   simulator.run_until(end_time);
   simulator.run();  // drain remaining settled timers
+  if (injector) injector->finish();
 
   result.final_thetas = source->thetas();
   result.final_convicted = source->convicted(config.decision_threshold);

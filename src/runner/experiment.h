@@ -33,6 +33,7 @@
 
 #include "adversary/strategy.h"
 #include "crypto/provider.h"
+#include "faults/plan.h"
 #include "protocols/context.h"
 #include "sim/network.h"
 #include "util/timeseries.h"
@@ -80,6 +81,17 @@ struct ExperimentConfig {
   crypto::CryptoKind crypto = crypto::CryptoKind::kFast;
   std::vector<AdversarySpec> adversaries{};
   std::vector<LinkFault> link_faults{};
+
+  /// Scripted *benign* faults (bursty loss, link churn, node outages —
+  /// src/faults). Installed after link_faults; a Gilbert–Elliott clause
+  /// replaces the Bernoulli coin (and thus any composed link-fault rate)
+  /// on its link, so benign-fault robustness studies keep adversaries and
+  /// fault processes on disjoint links. The plan's worst-case latency /
+  /// reordering delay is folded into the path's RTT bounds before the
+  /// network is built (sim::PathConfig::extra_rtt_slack_ms), so the
+  /// wait-timer cascade is provisioned for the schedule just as a real
+  /// deployment provisions for its SLA envelope.
+  faults::FaultPlan faults{};
 
   /// Identify-phase decision threshold in per-traversal terms; the paper's
   /// setting rho = 0.01, alpha = 0.03 gives the midpoint 0.02.

@@ -1,5 +1,9 @@
 #include "sim/link.h"
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 namespace paai::sim {
 
 namespace {
@@ -41,7 +45,78 @@ const char* drop_trace_name(net::PacketType type) {
   return "drop ?";
 }
 
+void check_probability(double value, const char* what) {
+  if (!(value >= 0.0 && value <= 1.0)) {  // NaN fails both comparisons
+    throw std::invalid_argument(std::string("Link: ") + what +
+                                " must be within [0, 1], got " +
+                                std::to_string(value));
+  }
+}
+
+void check_duration(SimDuration value, const char* what) {
+  if (value < 0) {
+    throw std::invalid_argument(std::string("Link: ") + what +
+                                " must be >= 0, got " +
+                                std::to_string(value));
+  }
+}
+
 }  // namespace
+
+Link::Link(Simulator& sim, std::size_t index, double loss_rate,
+           SimDuration latency, SimDuration jitter, Rng rng,
+           TrafficCounters* counters)
+    : sim_(sim),
+      index_(index),
+      loss_rate_(loss_rate),
+      latency_(latency),
+      jitter_(jitter),
+      rng_(rng),
+      counters_(counters) {
+  check_probability(loss_rate, "loss rate");
+  check_duration(latency, "latency");
+  check_duration(jitter, "jitter");
+}
+
+void Link::set_loss_rate(double rate) {
+  check_probability(rate, "loss rate");
+  loss_rate_ = rate;
+}
+
+void Link::set_latency(SimDuration latency) {
+  check_duration(latency, "latency");
+  latency_ = latency;
+}
+
+void Link::set_jitter(SimDuration jitter) {
+  check_duration(jitter, "jitter");
+  jitter_ = jitter;
+}
+
+void Link::set_reordering(double prob, SimDuration extra_delay) {
+  check_probability(prob, "reordering probability");
+  check_duration(extra_delay, "reordering delay");
+  reorder_prob_ = prob;
+  reorder_delay_ = extra_delay;
+}
+
+void Link::set_duplication(double prob) {
+  check_probability(prob, "duplication probability");
+  dup_prob_ = prob;
+}
+
+SimDuration Link::draw_delay() {
+  SimDuration delay = latency_;
+  if (jitter_ > 0) {
+    delay += static_cast<SimDuration>(rng_.next_double() *
+                                      static_cast<double>(jitter_));
+  }
+  if (reorder_prob_ > 0.0 && rng_.bernoulli(reorder_prob_)) {
+    delay += static_cast<SimDuration>(rng_.next_double() *
+                                      static_cast<double>(reorder_delay_));
+  }
+  return delay;
+}
 
 void Link::transmit(const PacketEnv& env) {
   const auto type = net::peek_type(env.view());
@@ -50,7 +125,10 @@ void Link::transmit(const PacketEnv& env) {
   }
   obs_.tx_packets.add();
   obs_.tx_bytes.add(env.wire_size);
-  if (rng_.bernoulli(loss_rate_)) {
+  const bool dropped = loss_process_ != nullptr
+                           ? loss_process_->drop(sim_.now(), rng_)
+                           : rng_.bernoulli(loss_rate_);
+  if (dropped) {
     if (counters_ != nullptr) {
       counters_->on_link_drop(index_,
                               type.value_or(net::PacketType::kData));
@@ -66,19 +144,20 @@ void Link::transmit(const PacketEnv& env) {
   }
   Node* target = env.dir == Direction::kToDest ? downstream_ : upstream_;
   if (target == nullptr) return;
-  SimDuration delay = latency_;
-  if (jitter_ > 0) {
-    delay += static_cast<SimDuration>(rng_.next_double() *
-                                      static_cast<double>(jitter_));
+  const std::size_t copies =
+      dup_prob_ > 0.0 && rng_.bernoulli(dup_prob_) ? 2 : 1;
+  if (copies == 2) obs_.dup_copies.add();
+  for (std::size_t c = 0; c < copies; ++c) {
+    const SimDuration delay = draw_delay();
+    obs_.latency_ns.observe(static_cast<std::uint64_t>(delay));
+    if (trace_.ring != nullptr) {
+      trace_.ring->complete(
+          tx_trace_name(type.value_or(net::PacketType::kData)), "sim",
+          sim_.now() / kMicrosecond, delay / kMicrosecond, trace_.track,
+          static_cast<std::int64_t>(index_));
+    }
+    sim_.after(delay, [target, env] { target->deliver(env); });
   }
-  obs_.latency_ns.observe(static_cast<std::uint64_t>(delay));
-  if (trace_.ring != nullptr) {
-    trace_.ring->complete(tx_trace_name(type.value_or(net::PacketType::kData)),
-                          "sim", sim_.now() / kMicrosecond,
-                          delay / kMicrosecond, trace_.track,
-                          static_cast<std::int64_t>(index_));
-  }
-  sim_.after(delay, [target, env] { target->deliver(env); });
 }
 
 }  // namespace paai::sim

@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -18,8 +19,17 @@ LinkObs link_obs(std::size_t i) {
   o.tx_packets = reg.counter(prefix + ".tx_packets");
   o.tx_bytes = reg.counter(prefix + ".tx_bytes");
   o.drops = reg.counter(prefix + ".drops");
+  o.dup_copies = reg.counter(prefix + ".dup_copies");
   o.latency_ns = reg.histogram(prefix + ".latency_ns");
   return o;
+}
+
+void check_nonnegative(double value, const char* what) {
+  if (!(value >= 0.0)) {  // NaN fails the comparison too
+    throw std::invalid_argument(std::string("PathNetwork: ") + what +
+                                " must be >= 0 and finite, got " +
+                                std::to_string(value));
+  }
 }
 
 }  // namespace
@@ -29,6 +39,16 @@ PathNetwork::PathNetwork(Simulator& sim, const PathConfig& config)
   if (config.length < 2) {
     throw std::invalid_argument("PathNetwork: path length must be >= 2");
   }
+  if (!(config.natural_loss >= 0.0 && config.natural_loss <= 1.0)) {
+    throw std::invalid_argument(
+        "PathNetwork: natural loss must be within [0, 1], got " +
+        std::to_string(config.natural_loss));
+  }
+  check_nonnegative(config.min_latency_ms, "min latency");
+  check_nonnegative(config.max_latency_ms, "max latency");
+  check_nonnegative(config.jitter_ms, "jitter");
+  check_nonnegative(config.max_clock_error_ms, "max clock error");
+  check_nonnegative(config.extra_rtt_slack_ms, "extra RTT slack");
   if (config.max_latency_ms < config.min_latency_ms) {
     throw std::invalid_argument("PathNetwork: invalid latency range");
   }
@@ -70,8 +90,9 @@ SimDuration PathNetwork::rtt_bound(std::size_t i) const {
   // plus the configured jitter.
   constexpr double kPerHopSlackMs = 0.2;
   const double hops = static_cast<double>(config_.length - i);
-  return milliseconds(2.0 * hops * (config_.max_latency_ms +
-                                    config_.jitter_ms + kPerHopSlackMs));
+  return milliseconds(2.0 * hops *
+                      (config_.max_latency_ms + config_.jitter_ms +
+                       config_.extra_rtt_slack_ms + kPerHopSlackMs));
 }
 
 void PathNetwork::start_agents() {

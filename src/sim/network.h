@@ -35,6 +35,12 @@ struct PathConfig {
   /// Loose time synchronization: node clock offsets drawn from
   /// U(-max_clock_error_ms, +max_clock_error_ms).
   double max_clock_error_ms = 0.0;
+  /// Extra per-hop allowance folded into the RTT bounds (and nothing
+  /// else). The runner sets this from a FaultPlan's worst-case latency
+  /// retune / reordering delay, exactly as a deployment would provision
+  /// its wait timers from a known SLA envelope — link construction and
+  /// all RNG streams are untouched, only the timers widen.
+  double extra_rtt_slack_ms = 0.0;
   /// Seed for link loss / latency / clock-offset streams.
   std::uint64_t seed = 1;
   /// Optional event tracer: when set, every link transmit/drop is
@@ -47,6 +53,9 @@ struct PathConfig {
 
 class PathNetwork {
  public:
+  /// Throws std::invalid_argument for a length < 2, an inverted latency
+  /// range, or any negative/NaN rate, latency, jitter, clock error, or
+  /// slack — bad schedules must fail loudly at construction.
   PathNetwork(Simulator& sim, const PathConfig& config);
 
   std::size_t length() const { return config_.length; }

@@ -10,20 +10,35 @@ void Node::attach_agent(std::unique_ptr<Agent> agent) {
 }
 
 void Node::deliver(const PacketEnv& env) {
+  if (!up_) {
+    ++crash_drops_;
+    return;
+  }
   if (agent_) agent_->on_packet(env);
 }
 
 void Node::originate(Direction dir, std::shared_ptr<const Bytes> wire,
                      std::size_t wire_size) {
+  if (!up_) return;
   Link* link = dir == Direction::kToDest ? toward_dest_ : toward_source_;
   if (link == nullptr) return;
   link->transmit(PacketEnv{std::move(wire), wire_size, dir});
 }
 
 void Node::forward(const PacketEnv& env) {
+  if (!up_) return;
   Link* link = env.dir == Direction::kToDest ? toward_dest_ : toward_source_;
   if (link == nullptr) return;
   link->transmit(env);
+}
+
+void Node::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    for (const auto& hook : crash_hooks_) hook();
+    if (agent_) agent_->on_crash();
+  }
 }
 
 }  // namespace paai::sim

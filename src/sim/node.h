@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "sim/storage.h"
@@ -45,6 +47,15 @@ class Agent {
 
   /// Called for every packet delivered to this node.
   virtual void on_packet(const PacketEnv& env) = 0;
+
+  /// Called when the node crashes (faults::FaultInjector outage
+  /// schedule). Pending tables registered via PendingStore::attach are
+  /// dropped by the node's crash hooks before this runs; override to
+  /// discard any *additional* volatile protocol state (e.g. statistical
+  /// FL's interval counters). Wait timers already in the event queue may
+  /// still fire — handlers must tolerate their entry having vanished,
+  /// which is the same recovery path an expired entry exercises.
+  virtual void on_crash() {}
 
  protected:
   Node& node() const { return *node_; }
@@ -84,6 +95,22 @@ class Node {
   SimTime local_now() const { return sim_.now() + clock_offset_; }
   void set_clock_offset(SimDuration offset) { clock_offset_ = offset; }
 
+  /// Crash/restart (transient outage). While down the node blackholes
+  /// every delivery and cannot originate or forward; crashing first runs
+  /// the registered crash hooks (dropping in-flight pending state), then
+  /// Agent::on_crash(). Restart is just coming back up — agents rebuild
+  /// their state from traffic, exactly like a rebooted router.
+  bool up() const { return up_; }
+  void set_up(bool up);
+
+  /// Registers a hook run on every crash (see PendingStore::attach).
+  void add_crash_hook(std::function<void()> hook) {
+    crash_hooks_.push_back(std::move(hook));
+  }
+
+  /// Ground truth for tests: packets blackholed while the node was down.
+  std::uint64_t crash_drops() const { return crash_drops_; }
+
   void set_link_toward_source(Link* l) { toward_source_ = l; }
   void set_link_toward_dest(Link* l) { toward_dest_ = l; }
   Link* link_toward_source() { return toward_source_; }
@@ -95,6 +122,9 @@ class Node {
   std::unique_ptr<Agent> agent_;
   StorageMeter storage_;
   SimDuration clock_offset_ = 0;
+  bool up_ = true;
+  std::uint64_t crash_drops_ = 0;
+  std::vector<std::function<void()>> crash_hooks_;
   Link* toward_source_ = nullptr;
   Link* toward_dest_ = nullptr;
 };

@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
-# Sanitizer checks, two legs:
+# Sanitizer checks, two legs, plus the bench_diff self-check:
 #
-#   1. ThreadSanitizer — exec + runner + fleet + obs test suites. Catches
-#      data races in the parallel execution engine (src/exec), in anything
-#      run_experiment touches, and in the lock-free metrics/tracer shards
-#      (src/obs) that runs write concurrently. The other half of the
-#      determinism story (the jobs=1 vs jobs=8 bit-identity test in
-#      exec_test) runs in the normal config via ctest.
+#   1. ThreadSanitizer — exec + runner + fleet + obs + faults test suites.
+#      Catches data races in the parallel execution engine (src/exec), in
+#      anything run_experiment touches, and in the lock-free metrics/tracer
+#      shards (src/obs) that runs write concurrently. faults_test runs the
+#      injector's schedule machinery and crash hooks under the Monte-Carlo
+#      fan-out (BitIdenticalAcrossJobs). The other half of the determinism
+#      story (the jobs=1 vs jobs=8 bit-identity test in exec_test) runs in
+#      the normal config via ctest.
 #
 #   2. AddressSanitizer + UBSan (hard-fail, -fno-sanitize-recover=all) —
 #      the memory-facing suites: obs (JSON parser on hostile input, ring
-#      indexing), util (wire codec fuzz loop), sim, exec.
+#      indexing), util (wire codec fuzz loop), sim, exec, faults (plan
+#      parser on malformed specs, loss-process state machines, crash-time
+#      pending-table teardown).
+#
+#   The 60k-packet ChaosPaperScale sweep is excluded under sanitizers for
+#   runtime; ChaosSmoke is its in-sanitizer representative.
+#
+#   3. bench_diff — self-test fixtures, then a same-file diff against the
+#      committed snapshot (must report zero drift against itself).
 #
 # Usage: tools/check.sh [tsan-build-dir [asan-build-dir]]
 #        (defaults: build-tsan build-asan)
@@ -19,10 +29,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 TSAN_DIR="${1:-build-tsan}"
 ASAN_DIR="${2:-build-asan}"
+CHAOS_FILTER="--gtest_filter=-*ChaosPaperScale*"
 
 echo "== leg 1: ThreadSanitizer =="
 cmake -B "$TSAN_DIR" -S . -DPAAI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_DIR" --target exec_test runner_test fleet_test obs_test -j "$(nproc)"
+cmake --build "$TSAN_DIR" --target exec_test runner_test fleet_test obs_test faults_test -j "$(nproc)"
 
 # TSAN_OPTIONS makes races hard failures rather than log noise.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -30,10 +41,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$TSAN_DIR/tests/runner_test"
 "$TSAN_DIR/tests/fleet_test"
 "$TSAN_DIR/tests/obs_test"
+"$TSAN_DIR/tests/faults_test" "$CHAOS_FILTER"
 
 echo "== leg 2: AddressSanitizer + UBSan =="
 cmake -B "$ASAN_DIR" -S . -DPAAI_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$ASAN_DIR" --target obs_test util_test sim_test exec_test -j "$(nproc)"
+cmake --build "$ASAN_DIR" --target obs_test util_test sim_test exec_test faults_test bench_diff -j "$(nproc)"
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
@@ -41,5 +53,11 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "$ASAN_DIR/tests/util_test"
 "$ASAN_DIR/tests/sim_test"
 "$ASAN_DIR/tests/exec_test"
+"$ASAN_DIR/tests/faults_test" "$CHAOS_FILTER"
 
-echo "check.sh: TSan (exec/runner/fleet/obs) and ASan+UBSan (obs/util/sim/exec) clean"
+echo "== leg 3: bench_diff =="
+"$ASAN_DIR/tools/bench_diff" --self-test
+# A snapshot diffed against itself must be drift-free.
+"$ASAN_DIR/tools/bench_diff" BENCH_pr3.json BENCH_pr3.json
+
+echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean"

@@ -17,14 +17,21 @@
 //   --fault=LINK:RATE      link-level malicious extra loss (repeatable)
 //   --adversary=NODE:KIND:RATE  node strategy; KIND in uniform | data |
 //                     ack | corrupt | withhold | withhold-drop (repeatable)
+//   --faults=SPEC     scripted benign faults (bursty loss, link churn,
+//                     node outages); compact grammar or JSON — see
+//                     docs/FAULTS.md
 //   --runs=N          (curve) Monte-Carlo runs              (default 50)
 //   --jobs=N          (curve) worker threads; 0 = all cores (default 0)
 //                     results are bit-identical for any value
 //   --csv             machine-readable output
+//   --metrics-out=F   write a paai.bench.v1 JSON document (metrics +
+//                     src/obs counters) for the command
+//   --trace-out=F     write a Chrome trace_event JSON
 //
 // Examples:
 //   paai run --protocol=paai1 --fault=4:0.02
 //   paai run --protocol=fullack --adversary=3:corrupt:0.3 --packets=5000
+//   paai run --protocol=paai1 --faults='ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15'
 //   paai curve --protocol=paai2 --packets=400000 --runs=20
 #include <cstdio>
 #include <cstring>
@@ -33,6 +40,8 @@
 #include <string>
 
 #include "analysis/bounds.h"
+#include "bench/bench_common.h"
+#include "faults/plan.h"
 #include "runner/montecarlo.h"
 #include "util/csv.h"
 
@@ -137,16 +146,31 @@ ExperimentConfig config_from_args(int argc, char** argv) {
   for (const auto& a : get_all(argc, argv, "adversary")) {
     cfg.adversaries.push_back(parse_adversary(a));
   }
+  if (const auto spec = get_opt(argc, argv, "faults")) {
+    cfg.faults = faults::FaultPlan::parse(*spec);
+  }
   return cfg;
 }
 
 int cmd_run(int argc, char** argv) {
-  const ExperimentConfig cfg = config_from_args(argc, argv);
+  bench::BenchSession session("paai.run", argc, argv);
+  ExperimentConfig cfg = config_from_args(argc, argv);
+  cfg.path.trace = session.trace();
   const bool csv = has_flag(argc, argv, "--csv");
   std::fprintf(stderr, "running %s on a %zu-hop path, %llu packets...\n",
                protocols::protocol_name(cfg.protocol), cfg.path.length,
                static_cast<unsigned long long>(cfg.params.total_packets));
   const ExperimentResult r = run_experiment(cfg);
+  session.info("protocol", protocols::protocol_name(cfg.protocol));
+  if (!cfg.faults.empty()) session.info("faults", cfg.faults.to_string());
+  session.metric("convicted_links",
+                 static_cast<double>(r.final_convicted.size()));
+  session.metric("observed_e2e_rate", r.observed_e2e_rate);
+  session.metric("ground_truth_delivery", r.ground_truth_delivery);
+  session.metric("overhead_bytes_ratio", r.overhead_bytes_ratio);
+  session.metric("overhead_packets_ratio", r.overhead_packets_ratio);
+  session.metric("events_processed",
+                 static_cast<double>(r.events_processed));
 
   Table table({"link", "estimated_theta", "true_loss", "verdict"});
   for (std::size_t i = 0; i < r.final_thetas.size(); ++i) {
@@ -171,8 +195,10 @@ int cmd_run(int argc, char** argv) {
 }
 
 int cmd_curve(int argc, char** argv) {
+  bench::BenchSession session("paai.curve", argc, argv);
   MonteCarloConfig mc;
   mc.base = config_from_args(argc, argv);
+  mc.trace = session.trace();
   mc.runs = std::stoul(get_opt(argc, argv, "runs").value_or("50"));
   mc.jobs = std::stoul(get_opt(argc, argv, "jobs").value_or("0"));
   if (mc.base.link_faults.empty() && mc.base.adversaries.empty()) {
@@ -192,12 +218,19 @@ int cmd_curve(int argc, char** argv) {
                static_cast<unsigned long long>(mc.base.params.total_packets),
                protocols::protocol_name(mc.base.protocol));
   const MonteCarloResult r = run_monte_carlo(mc);
-  std::fprintf(stderr,
-               "[exec] jobs=%zu wall=%.2fs mean_run=%.0fms "
-               "utilization=%.0f%%\n",
-               r.exec.jobs, r.exec.wall_seconds,
-               r.exec.task_seconds.mean() * 1e3,
-               r.exec.utilization() * 100.0);
+  session.exec(r.exec);
+  session.info("protocol", protocols::protocol_name(mc.base.protocol));
+  if (!mc.base.faults.empty()) {
+    session.info("faults", mc.base.faults.to_string());
+  }
+  if (r.detection_packets) {
+    session.metric("detection_packets",
+                   static_cast<double>(*r.detection_packets));
+  }
+  if (!r.curve.empty()) {
+    session.metric("final_fp", r.curve.back().fp);
+    session.metric("final_fn", r.curve.back().fn);
+  }
 
   Table table({"packets", "false_positive", "false_negative"});
   for (const auto& pt : r.curve) {
@@ -249,8 +282,11 @@ void usage() {
       "[--rho=0.01]\n"
       "            [--packets=N] [--rate=100] [--p=X] [--threshold=X]\n"
       "            [--fault=LINK:RATE]... [--adversary=NODE:KIND:RATE]...\n"
-      "            [--runs=N] [--jobs=N] [--seed=N] [--csv]\n"
-      "see tools/paai_cli.cc header for details and examples\n");
+      "            [--faults=SPEC] [--runs=N] [--jobs=N] [--seed=N] "
+      "[--csv]\n"
+      "            [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "see tools/paai_cli.cc header for details and examples; the fault\n"
+      "plan grammar is documented in docs/FAULTS.md\n");
 }
 
 }  // namespace
