@@ -13,6 +13,7 @@
 #include "crypto/sha256.h"
 #include "crypto/siphash.h"
 #include "net/onion.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "runner/experiment.h"
 #include "sim/simulator.h"
@@ -144,6 +145,36 @@ void BM_CounterAddEnabled(benchmark::State& state) {
   reg.set_enabled(false);
 }
 BENCHMARK(BM_CounterAddEnabled);
+
+// The forensic event log's disabled path is a null-pointer test at the
+// ProtocolContext::log_event call site — model it exactly.
+void BM_EventLogAppendDisabled(benchmark::State& state) {
+  obs::EventLog* log = nullptr;
+  benchmark::DoNotOptimize(log);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    if (log != nullptr) {
+      log->append(0, obs::EventKind::kScoreClean,
+                  static_cast<std::int64_t>(v), -1, v, v, 0.0);
+    }
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap lcg
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_EventLogAppendDisabled);
+
+void BM_EventLogAppendEnabled(benchmark::State& state) {
+  obs::EventLog log(/*per_node_capacity=*/1 << 12);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    log.append(static_cast<std::uint16_t>(v & 7), obs::EventKind::kScoreClean,
+               static_cast<std::int64_t>(v), static_cast<std::int32_t>(v & 3),
+               v, v, 0.5);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap lcg
+  }
+  benchmark::DoNotOptimize(log.recorded());
+}
+BENCHMARK(BM_EventLogAppendEnabled);
 
 void BM_HistogramObserveEnabled(benchmark::State& state) {
   auto& reg = obs::MetricsRegistry::global();

@@ -59,6 +59,11 @@ inline int run_fig2(int argc, char** argv, protocols::ProtocolKind kind,
               mc.per_run_detection_packets.mean(),
               mc.per_run_detection_packets.stddev(),
               mc.per_run_detection_packets.count(), runs);
+  if (!mc.detection_samples.empty()) {
+    std::printf("convergence timeline: p50 %.0f  p90 %.0f  p99 %.0f "
+                "packets-to-detection\n",
+                mc.detection_p50, mc.detection_p90, mc.detection_p99);
+  }
   std::printf("final theta estimates (mean over runs):");
   for (std::size_t i = 0; i < mc.final_thetas.size(); ++i) {
     std::printf(" l_%zu=%.4f", i, mc.final_thetas[i].mean());
@@ -71,6 +76,11 @@ inline int run_fig2(int argc, char** argv, protocols::ProtocolKind kind,
   }
   session.metric("per_run_detection_packets_mean",
                  mc.per_run_detection_packets.mean());
+  if (!mc.detection_samples.empty()) {
+    session.metric("detection_packets_p50", mc.detection_p50);
+    session.metric("detection_packets_p90", mc.detection_p90);
+    session.metric("detection_packets_p99", mc.detection_p99);
+  }
   session.metric("final_fp", mc.curve.empty() ? 0.0 : mc.curve.back().fp);
   session.metric("final_fn", mc.curve.empty() ? 0.0 : mc.curve.back().fn);
   session.metric("final_e2e_rate", mc.final_e2e_rate.mean());

@@ -1,0 +1,174 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace paai::obs {
+namespace {
+
+constexpr const char* kKindNames[kEventKindCount] = {
+    "run-start",    "run-end",      "data-send",     "sample-select",
+    "probe-send",   "ack-recv",     "ack-timeout",   "onion-decode",
+    "score-clean",  "score-blame",  "conviction",    "packet-send",
+    "packet-recv",  "packet-fwd",   "node-crash",    "node-restart",
+};
+
+// Exact total order for the merged export; seq breaks ties within a node
+// (two nodes never share a seq collision at the same ts because node is
+// compared first).
+bool event_before(const Event& x, const Event& y) {
+  if (x.ts_ns != y.ts_ns) return x.ts_ns < y.ts_ns;
+  if (x.node != y.node) return x.node < y.node;
+  return x.seq < y.seq;
+}
+
+bool parse_u64_field(const JsonValue& v, std::uint64_t* out) {
+  if (!v.is_string()) return false;
+  if (v.string.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.string.c_str(), &end, 10);
+  if (errno != 0 || end != v.string.c_str() + v.string.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+std::optional<EventKind> event_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    if (name == kKindNames[i]) return static_cast<EventKind>(i);
+  }
+  return std::nullopt;
+}
+
+EventLog::EventLog(std::size_t per_node_capacity)
+    : capacity_(per_node_capacity == 0 ? 1 : per_node_capacity) {}
+
+void EventLog::append(std::size_t node, EventKind kind, std::int64_t ts_ns,
+                      std::int32_t link, std::uint64_t a, std::uint64_t b,
+                      double value) {
+  if (node >= rings_.size()) rings_.resize(node + 1);
+  NodeRing& ring = rings_[node];
+  if (ring.slots.empty()) ring.slots.reserve(std::min<std::size_t>(capacity_, 64));
+
+  Event e;
+  e.ts_ns = ts_ns;
+  e.seq = ring.next_seq++;
+  e.a = a;
+  e.b = b;
+  e.value = value;
+  e.link = link;
+  e.node = static_cast<std::uint16_t>(node);
+  e.kind = kind;
+
+  ++recorded_;
+  if (ring.slots.size() < capacity_) {
+    ring.slots.push_back(e);
+  } else {
+    ring.slots[static_cast<std::size_t>(e.seq % capacity_)] = e;
+    ++dropped_;
+  }
+}
+
+void EventLog::clear() {
+  rings_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<Event> EventLog::merged() const {
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(retained()));
+  for (const NodeRing& ring : rings_) {
+    out.insert(out.end(), ring.slots.begin(), ring.slots.end());
+  }
+  std::sort(out.begin(), out.end(), event_before);
+  return out;
+}
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  for (const Event& e : merged()) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("ts_ns").value(e.ts_ns);
+    w.key("node").value(static_cast<std::int64_t>(e.node));
+    w.key("seq").value(e.seq);
+    w.key("kind").value(event_kind_name(e.kind));
+    if (e.link >= 0) w.key("link").value(static_cast<std::int64_t>(e.link));
+    w.key("a").value(std::to_string(e.a));
+    w.key("b").value(std::to_string(e.b));
+    w.key("v").value(e.value);
+    w.end_object();
+    os << '\n';
+  }
+}
+
+std::vector<Event> EventLog::read_jsonl(std::istream& is, std::string* error) {
+  std::vector<Event> out;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    out.clear();
+    return out;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string parse_error;
+    const auto doc = json_parse(line, &parse_error);
+    if (!doc.has_value()) return fail(parse_error);
+    if (!doc->is_object()) return fail("not a JSON object");
+
+    Event e;
+    const JsonValue* ts = doc->find("ts_ns");
+    const JsonValue* node = doc->find("node");
+    const JsonValue* seq = doc->find("seq");
+    const JsonValue* kind = doc->find("kind");
+    if (ts == nullptr || !ts->is_number() || node == nullptr ||
+        !node->is_number() || seq == nullptr || !seq->is_number() ||
+        kind == nullptr || !kind->is_string()) {
+      return fail("missing or mistyped ts_ns/node/seq/kind");
+    }
+    e.ts_ns = static_cast<std::int64_t>(ts->number);
+    e.node = static_cast<std::uint16_t>(node->number);
+    e.seq = static_cast<std::uint64_t>(seq->number);
+    const auto k = event_kind_from_name(kind->string);
+    if (!k.has_value()) return fail("unknown kind \"" + kind->string + "\"");
+    e.kind = *k;
+
+    if (const JsonValue* link = doc->find("link")) {
+      if (!link->is_number()) return fail("mistyped link");
+      e.link = static_cast<std::int32_t>(link->number);
+    }
+    if (const JsonValue* a = doc->find("a")) {
+      if (!parse_u64_field(*a, &e.a)) return fail("mistyped a");
+    }
+    if (const JsonValue* b = doc->find("b")) {
+      if (!parse_u64_field(*b, &e.b)) return fail("mistyped b");
+    }
+    if (const JsonValue* v = doc->find("v")) {
+      // Non-finite doubles are emitted as null; map them back to 0.
+      if (!v->is_number() && !v->is_null()) return fail("mistyped v");
+      e.value = v->is_number() ? v->number : 0.0;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace paai::obs

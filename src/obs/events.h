@@ -1,0 +1,143 @@
+// Typed, virtual-clock-stamped, bounded per-node structured event log.
+//
+// Where the metrics registry answers "how many", the event log answers
+// "which packet, at which node, in what order": every protocol decision
+// that feeds a conviction (data send, sample selection, ack receipt or
+// timeout, onion-layer decode, score update, the conviction itself) is
+// recorded as a typed event stamped with the simulated clock. The log is
+// strictly observational — a null `EventLog*` costs one branch on the hot
+// path, and enabling it never changes simulation results (asserted by
+// `Integration.EventsNeverAffectResults` in tests/obs_test.cc).
+//
+// Storage is a bounded ring per node (oldest events overwritten on
+// overflow; `dropped()` counts the loss) so a runaway run cannot exhaust
+// memory. The log is single-writer by design: it has no internal
+// synchronization, and the Monte-Carlo driver attaches it to run 0 only
+// so the recorded stream is bit-identical for any `--jobs` value.
+//
+// Export is deterministic JSONL (one strict-JSON object per line, merged
+// across nodes and sorted by (ts_ns, node, seq)); `paai explain` replays
+// an exported log into a conviction audit trail (obs/forensics.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paai::obs {
+
+enum class EventKind : std::uint8_t {
+  // Run lifecycle (logged by the runner; node = source).
+  kRunStart,      // a = total packets planned, b = path seed, v = threshold
+  kRunEnd,        // a = packets sent, b = score observations
+  // Protocol decisions (logged through ProtocolContext; node = source).
+  kDataSend,      // a = packet id64, b = sequence number
+  kSampleSelect,  // a = packet id64 (or interval for stat-FL)
+  kProbeSend,     // a = packet id64
+  kAckRecv,       // a = packet id64, b = 0 dest-ack / 1 report / 2 fl-report
+  kAckTimeout,    // a = packet id64 (or interval for stat-FL)
+  kOnionDecode,   // a = packet id64, b = valid layers (prefix length)
+  kScoreClean,    // a = packet id64, b = observations after update
+  kScoreBlame,    // link = blamed link (-1 = prefix evidence),
+                  // a = packet id64, b = observations, v = theta after
+  kConviction,    // link, a = packets sent, b = observations, v = theta
+  // Node-level wire activity (logged by sim::Node; node = that node).
+  kPacketSend,    // a = first wire byte (packet type), b = wire size
+  kPacketRecv,    // a = first wire byte (packet type), b = wire size
+  kPacketForward, // a = first wire byte (packet type), b = wire size
+  kNodeCrash,
+  kNodeRestart,
+};
+
+inline constexpr std::size_t kEventKindCount = 16;
+
+/// Stable kebab-case name ("data-send", "score-blame", ...) used in the
+/// JSONL export; round-trips through event_kind_from_name().
+const char* event_kind_name(EventKind kind);
+
+/// Inverse of event_kind_name(); nullopt for unknown names.
+std::optional<EventKind> event_kind_from_name(std::string_view name);
+
+struct Event {
+  std::int64_t ts_ns = 0;   // simulated clock (sim::SimTime)
+  std::uint64_t seq = 0;    // per-node monotonic append index
+  std::uint64_t a = 0;      // kind-specific (usually packet id64)
+  std::uint64_t b = 0;      // kind-specific (seq / layers / observations)
+  double value = 0.0;       // kind-specific (theta / threshold)
+  std::int32_t link = -1;   // link index, -1 = not link-scoped
+  std::uint16_t node = 0;   // path position F_i of the logging node
+  EventKind kind = EventKind::kRunStart;
+
+  friend bool operator==(const Event& x, const Event& y) {
+    return x.ts_ns == y.ts_ns && x.seq == y.seq && x.a == y.a &&
+           x.b == y.b && x.value == y.value && x.link == y.link &&
+           x.node == y.node && x.kind == y.kind;
+  }
+};
+
+/// First 8 bytes of a 16-byte net::PacketId as a correlation handle. Two
+/// ids sharing a prefix is a 2^-64 event per pair — fine for forensics.
+inline std::uint64_t event_id64(const std::uint8_t* id_bytes) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, id_bytes, sizeof v);
+  return v;
+}
+
+class EventLog {
+ public:
+  /// `per_node_capacity` bounds each node's ring (rounded up to 1).
+  explicit EventLog(std::size_t per_node_capacity = 1 << 14);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event attributed to path position `node`. Single-writer:
+  /// callers must not append from two threads concurrently (the
+  /// Monte-Carlo driver guarantees this by attaching the log to run 0
+  /// only).
+  void append(std::size_t node, EventKind kind, std::int64_t ts_ns,
+              std::int32_t link = -1, std::uint64_t a = 0,
+              std::uint64_t b = 0, double value = 0.0);
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t retained() const { return recorded_ - dropped_; }
+  std::size_t per_node_capacity() const { return capacity_; }
+  /// Highest node index appended to + 1 (0 when empty).
+  std::size_t nodes() const { return rings_.size(); }
+
+  void clear();
+
+  /// All retained events merged across nodes, sorted by (ts_ns, node,
+  /// seq) — a deterministic total order.
+  std::vector<Event> merged() const;
+
+  /// Writes merged() as JSONL: one strict-JSON object per line. `a` and
+  /// `b` are emitted as decimal strings so full 64-bit ids survive
+  /// double-typed JSON parsers; `link` is omitted when -1.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Parses a JSONL stream produced by write_jsonl(). On failure returns
+  /// an empty vector and, when `error` is non-null, a description with
+  /// the offending line number.
+  static std::vector<Event> read_jsonl(std::istream& is,
+                                       std::string* error = nullptr);
+
+ private:
+  struct NodeRing {
+    std::vector<Event> slots;  // allocated lazily on first append
+    std::uint64_t next_seq = 0;
+  };
+
+  std::vector<NodeRing> rings_;
+  std::size_t capacity_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace paai::obs

@@ -15,7 +15,7 @@ std::uint64_t TraceRing::retained() const {
 
 void TraceRing::record(const char* name, const char* cat, std::int64_t ts_us,
                        std::int64_t dur_us, std::uint32_t track,
-                       std::int64_t arg) {
+                       std::int64_t arg, std::uint32_t pid) {
   const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& s = slots_[idx % slots_.size()];
   s.name.store(name, std::memory_order_relaxed);
@@ -24,6 +24,7 @@ void TraceRing::record(const char* name, const char* cat, std::int64_t ts_us,
   s.dur_us.store(dur_us, std::memory_order_relaxed);
   s.arg.store(arg, std::memory_order_relaxed);
   s.track.store(track, std::memory_order_relaxed);
+  s.pid.store(pid, std::memory_order_relaxed);
 }
 
 void TraceRing::write_chrome_json(std::ostream& os) const {
@@ -57,7 +58,8 @@ void TraceRing::write_chrome_json(std::ostream& os) const {
       w.key("s").value("t");
     }
     w.key("ts").value(s.ts_us.load(std::memory_order_relaxed));
-    w.key("pid").value(std::int64_t{1});
+    w.key("pid").value(
+        static_cast<std::int64_t>(s.pid.load(std::memory_order_relaxed)));
     w.key("tid").value(
         static_cast<std::int64_t>(s.track.load(std::memory_order_relaxed)));
     if (arg != kTraceNoArg) {

@@ -35,17 +35,19 @@ class TraceRing {
   TraceRing& operator=(const TraceRing&) = delete;
 
   /// Records an instant event (Chrome ph "i"). `arg`, when not kTraceNoArg,
-  /// is exported as args.v.
+  /// is exported as args.v. `pid` is the Chrome process id — the sim uses
+  /// it for per-node attribution (pid = path position F_i).
   void instant(const char* name, const char* cat, std::int64_t ts_us,
-               std::uint32_t track, std::int64_t arg = kTraceNoArg) {
-    record(name, cat, ts_us, /*dur_us=*/-1, track, arg);
+               std::uint32_t track, std::int64_t arg = kTraceNoArg,
+               std::uint32_t pid = 1) {
+    record(name, cat, ts_us, /*dur_us=*/-1, track, arg, pid);
   }
 
   /// Records a complete event (Chrome ph "X") spanning [ts, ts + dur].
   void complete(const char* name, const char* cat, std::int64_t ts_us,
                 std::int64_t dur_us, std::uint32_t track,
-                std::int64_t arg = kTraceNoArg) {
-    record(name, cat, ts_us, dur_us >= 0 ? dur_us : 0, track, arg);
+                std::int64_t arg = kTraceNoArg, std::uint32_t pid = 1) {
+    record(name, cat, ts_us, dur_us >= 0 ? dur_us : 0, track, arg, pid);
   }
 
   /// Events ever recorded (monotonic; may exceed capacity).
@@ -74,10 +76,12 @@ class TraceRing {
     std::atomic<std::int64_t> dur_us{-1};
     std::atomic<std::int64_t> arg{kTraceNoArg};
     std::atomic<std::uint32_t> track{0};
+    std::atomic<std::uint32_t> pid{1};
   };
 
   void record(const char* name, const char* cat, std::int64_t ts_us,
-              std::int64_t dur_us, std::uint32_t track, std::int64_t arg);
+              std::int64_t dur_us, std::uint32_t track, std::int64_t arg,
+              std::uint32_t pid);
 
   std::vector<Slot> slots_;
   std::atomic<std::uint64_t> head_{0};
@@ -86,9 +90,12 @@ class TraceRing {
 /// A tracing destination handed down into instrumented components: the
 /// ring (nullptr = tracing off) plus the track (Chrome tid) the component
 /// should write under — the Monte-Carlo driver assigns one track per run.
+/// `pid` groups events by process row in the viewer; the sim sets it to
+/// the owning node's path position so each node gets its own row.
 struct TraceCtx {
   TraceRing* ring = nullptr;
   std::uint32_t track = 0;
+  std::uint32_t pid = 1;
 
   explicit operator bool() const { return ring != nullptr; }
 };

@@ -47,10 +47,14 @@ void Comb1Source::send_next() {
 
   node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
                    pkt.wire_size());
+  ctx_.log_event(node(), obs::EventKind::kDataSend, -1,
+                 obs::event_id64(id.data()), pkt.seq);
   ++sent_;
 
   // Only K_d-sampled packets are monitored; D acks those unprompted.
   if (sampler_.sampled(ByteView(id.data(), id.size()))) {
+    ctx_.log_event(node(), obs::EventKind::kSampleSelect, -1,
+                   obs::event_id64(id.data()), pkt.seq);
     pending_.purge(node().sim().now());
     pending_.put(id, Pending{},
                  node().sim().now() + 3 * ctx_.r0() + 8 * ctx_.timer_slack());
@@ -68,11 +72,15 @@ void Comb1Source::on_ack_timeout(const net::PacketId& id) {
   if (p == nullptr || p->probed) return;
   p->probed = true;
   score_.note_probe();
+  ctx_.log_event(node(), obs::EventKind::kAckTimeout, -1,
+                 obs::event_id64(id.data()));
   net::Probe probe;
   probe.data_id = id;
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
   ctx_.metrics().probes_sent.add();
+  ctx_.log_event(node(), obs::EventKind::kProbeSend, -1,
+                 obs::event_id64(id.data()));
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -80,6 +88,9 @@ void Comb1Source::on_ack_timeout(const net::PacketId& id) {
 void Comb1Source::on_probe_timeout(const net::PacketId& id) {
   if (pending_.find(id) == nullptr) return;
   score_.blame(0);
+  ctx_.log_event(node(), obs::EventKind::kScoreBlame, 0,
+                 obs::event_id64(id.data()), score_.observations(),
+                 score_.theta(0));
   pending_.erase(id);
 }
 
@@ -106,8 +117,12 @@ void Comb1Source::handle_dest_ack(const net::DestAck& ack) {
                 ByteView(ack.tag.data(), ack.tag.size()))) {
     return;
   }
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(ack.data_id.data()), /*b=*/0);
   score_.add_clean();
   ++delivered_;
+  ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                 obs::event_id64(ack.data_id.data()), score_.observations());
   pending_.erase(ack.data_id);
 }
 
@@ -132,16 +147,26 @@ void Comb1Source::handle_report(const net::ReportAck& ack) {
     return r.size() == base;
   };
 
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(id.data()), /*b=*/1);
   const auto result = net::onion_verify(
       ctx_.crypto(), ctx_.key_vector(), ctx_.d(),
       ByteView(ack.report.data(), ack.report.size()), report_ok);
 
+  ctx_.log_event(node(), obs::EventKind::kOnionDecode, -1,
+                 obs::event_id64(id.data()), result.valid_layers);
   if (result.valid_layers == 0) return;  // unauthenticated: ignore
   if (result.valid_layers >= ctx_.d()) {
     score_.add_clean();
     ++delivered_;
+    ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                   obs::event_id64(id.data()), score_.observations());
   } else {
     score_.blame(result.valid_layers);
+    ctx_.log_event(node(), obs::EventKind::kScoreBlame,
+                   static_cast<std::int32_t>(result.valid_layers),
+                   obs::event_id64(id.data()), score_.observations(),
+                   score_.theta(result.valid_layers));
   }
   pending_.erase(id);
 }

@@ -28,7 +28,11 @@ ProtocolContext::ProtocolContext(const crypto::CryptoProvider& crypto,
                                  const crypto::KeyStore& keys,
                                  const sim::PathNetwork& net,
                                  const ProtocolParams& params)
-    : crypto_(&crypto), keys_(&keys), params_(params), d_(net.length()) {
+    : crypto_(&crypto),
+      keys_(&keys),
+      params_(params),
+      d_(net.length()),
+      events_(net.config().events) {
   if (keys.path_length() != d_) {
     throw std::invalid_argument(
         "ProtocolContext: key store and network disagree on path length");

@@ -20,6 +20,7 @@
 
 #include "crypto/keystore.h"
 #include "crypto/provider.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/time.h"
@@ -121,6 +122,20 @@ class ProtocolContext {
   /// Observability handles (no-ops while the registry is disabled).
   const ProtocolMetrics& metrics() const { return metrics_; }
 
+  /// Structured event log (nullptr = logging off), taken from the path
+  /// config. Strictly observational — protocols write, never read.
+  obs::EventLog* events() const { return events_; }
+
+  /// Appends a forensic event attributed to `node` (stamped with the
+  /// simulated clock); one branch when logging is off.
+  void log_event(sim::Node& node, obs::EventKind kind, std::int32_t link = -1,
+                 std::uint64_t a = 0, std::uint64_t b = 0,
+                 double value = 0.0) const {
+    if (events_ != nullptr) {
+      events_->append(node.index(), kind, node.sim().now(), link, a, b, value);
+    }
+  }
+
  private:
   const crypto::CryptoProvider* crypto_;
   const crypto::KeyStore* keys_;
@@ -132,6 +147,7 @@ class ProtocolContext {
   sim::SimDuration timer_slack_;
   std::vector<crypto::Key> key_vec_;
   ProtocolMetrics metrics_;
+  obs::EventLog* events_ = nullptr;
 };
 
 }  // namespace paai::protocols

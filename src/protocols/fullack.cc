@@ -71,6 +71,8 @@ void FullAckSource::send_next() {
                node().sim().now() + 3 * ctx_.r0() + 8 * ctx_.timer_slack());
   node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
                    pkt.wire_size());
+  ctx_.log_event(node(), obs::EventKind::kDataSend, -1,
+                 obs::event_id64(id.data()), pkt.seq);
   ++sent_;
 
   node().sim().after(ctx_.r0() + ctx_.timer_slack(),
@@ -85,12 +87,16 @@ void FullAckSource::on_ack_timeout(const net::PacketId& id) {
   if (p == nullptr || p->probed) return;
   p->probed = true;
   score_.note_probe();
+  ctx_.log_event(node(), obs::EventKind::kAckTimeout, -1,
+                 obs::event_id64(id.data()));
 
   net::Probe probe;
   probe.data_id = id;
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
   ctx_.metrics().probes_sent.add();
+  ctx_.log_event(node(), obs::EventKind::kProbeSend, -1,
+                 obs::event_id64(id.data()));
   node().sim().after(ctx_.r0() + ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -100,6 +106,9 @@ void FullAckSource::on_probe_timeout(const net::PacketId& id) {
   // No report at all: the loss is on the source's own downstream link
   // (PAAI-1 footnote 8 reasoning applies here identically).
   score_.blame(0);
+  ctx_.log_event(node(), obs::EventKind::kScoreBlame, 0,
+                 obs::event_id64(id.data()), score_.observations(),
+                 score_.theta(0));
   pending_.erase(id);
 }
 
@@ -128,8 +137,12 @@ void FullAckSource::handle_dest_ack(const net::DestAck& ack) {
   }
   // Delivery confirmed. A probe may already be in flight (late ack); the
   // outcome is clean either way.
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(ack.data_id.data()), /*b=*/0);
   score_.add_clean();
   ++delivered_;
+  ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                 obs::event_id64(ack.data_id.data()), score_.observations());
   pending_.erase(ack.data_id);
 }
 
@@ -156,11 +169,15 @@ void FullAckSource::handle_report(const net::ReportAck& ack) {
   if (p == nullptr || !p->probed) return;
 
   const net::PacketId id = ack.data_id;
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(id.data()), /*b=*/1);
   const auto result = net::onion_verify(
       ctx_.crypto(), ctx_.key_vector(), ctx_.d(),
       ByteView(ack.report.data(), ack.report.size()),
       [this, &id](std::uint8_t i, ByteView r) { return report_ok(i, r, id); });
 
+  ctx_.log_event(node(), obs::EventKind::kOnionDecode, -1,
+                 obs::event_id64(id.data()), result.valid_layers);
   if (result.valid_layers == 0) {
     // Not even F_1's layer authenticates: this is indistinguishable from
     // an injected forgery. Acting on it would let any downstream
@@ -173,8 +190,14 @@ void FullAckSource::handle_report(const net::ReportAck& ack) {
     // only its ack was lost (and the onion already localized nothing).
     score_.add_clean();
     ++delivered_;
+    ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                   obs::event_id64(id.data()), score_.observations());
   } else {
     score_.blame(result.valid_layers);
+    ctx_.log_event(node(), obs::EventKind::kScoreBlame,
+                   static_cast<std::int32_t>(result.valid_layers),
+                   obs::event_id64(id.data()), score_.observations(),
+                   score_.theta(result.valid_layers));
   }
   pending_.erase(id);
 }

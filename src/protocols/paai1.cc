@@ -107,11 +107,15 @@ void Paai1Source::send_next() {
 
   node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
                    pkt.wire_size());
+  ctx_.log_event(node(), obs::EventKind::kDataSend, -1,
+                 obs::event_id64(id.data()), pkt.seq);
   ++sent_;
 
   // Phase 1 decision: sample m for probing with probability p, keyed so
   // no observer can predict the outcome.
   if (sampler_.sampled(ByteView(id.data(), id.size()))) {
+    ctx_.log_event(node(), obs::EventKind::kSampleSelect, -1,
+                   obs::event_id64(id.data()), pkt.seq);
     pending_.purge(node().sim().now());
     pending_.put(id, Pending{},
                  node().sim().now() + ctx_.probe_delay() + 2 * ctx_.r0() +
@@ -135,6 +139,8 @@ void Paai1Source::send_probe(const net::PacketId& id) {
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
   ctx_.metrics().probes_sent.add();
+  ctx_.log_event(node(), obs::EventKind::kProbeSend, -1,
+                 obs::event_id64(id.data()));
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_resolution_timeout(id); });
 }
@@ -148,7 +154,12 @@ void Paai1Source::on_resolution_timeout(const net::PacketId& id) {
   }
   // No authenticated report at all: the drop is on the source's own
   // downstream link (footnote 8).
+  ctx_.log_event(node(), obs::EventKind::kAckTimeout, -1,
+                 obs::event_id64(id.data()));
   score_.blame(0);
+  ctx_.log_event(node(), obs::EventKind::kScoreBlame, 0,
+                 obs::event_id64(id.data()), score_.observations(),
+                 score_.theta(0));
   pending_.erase(id);
 }
 
@@ -162,8 +173,13 @@ void Paai1Source::resolve_independent(const net::PacketId& id,
   if (k >= ctx_.d()) {
     score_.add_clean();
     ++delivered_;
+    ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                   obs::event_id64(id.data()), score_.observations());
   } else {
     score_.blame(k);
+    ctx_.log_event(node(), obs::EventKind::kScoreBlame,
+                   static_cast<std::int32_t>(k), obs::event_id64(id.data()),
+                   score_.observations(), score_.theta(k));
   }
   pending_.erase(id);
 }
@@ -184,17 +200,27 @@ void Paai1Source::handle_report(const net::ReportAck& ack) {
   if (pending_.find(ack.data_id) == nullptr) return;
 
   const net::PacketId id = ack.data_id;
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(id.data()), /*b=*/1);
   const auto result = net::onion_verify(
       ctx_.crypto(), ctx_.key_vector(), ctx_.d(),
       ByteView(ack.report.data(), ack.report.size()),
       [&id](std::uint8_t i, ByteView r) { return paai1_report_ok(i, r, id); });
 
+  ctx_.log_event(node(), obs::EventKind::kOnionDecode, -1,
+                 obs::event_id64(id.data()), result.valid_layers);
   if (result.valid_layers == 0) return;  // unauthenticated: ignore (see §4)
   if (result.valid_layers >= ctx_.d()) {
     score_.add_clean();
     ++delivered_;
+    ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                   obs::event_id64(id.data()), score_.observations());
   } else {
     score_.blame(result.valid_layers);
+    ctx_.log_event(node(), obs::EventKind::kScoreBlame,
+                   static_cast<std::int32_t>(result.valid_layers),
+                   obs::event_id64(id.data()), score_.observations(),
+                   score_.theta(result.valid_layers));
   }
   pending_.erase(id);
 }

@@ -102,9 +102,15 @@ void Paai2Source::send_next() {
   }
   node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
                    pkt.wire_size());
+  ctx_.log_event(node(), obs::EventKind::kDataSend, -1,
+                 obs::event_id64(id.data()), pkt.seq);
   ++sent_;
 
   if (monitored) {
+    if (sampled_mode_) {
+      ctx_.log_event(node(), obs::EventKind::kSampleSelect, -1,
+                     obs::event_id64(id.data()), pkt.seq);
+    }
     score_.add_data_packet();
     node().sim().after(ctx_.r0() + ctx_.timer_slack(),
                        [this, id] { on_ack_timeout(id); });
@@ -118,6 +124,8 @@ void Paai2Source::on_ack_timeout(const net::PacketId& id) {
   Pending* p = pending_.find(id);
   if (p == nullptr || p->probed) return;
   p->probed = true;
+  ctx_.log_event(node(), obs::EventKind::kAckTimeout, -1,
+                 obs::event_id64(id.data()));
 
   // Fresh unpredictable challenge Z (PRF over id and a counter under the
   // source-private key).
@@ -142,6 +150,8 @@ void Paai2Source::on_ack_timeout(const net::PacketId& id) {
   node().originate(sim::Direction::kToDest,
                    shared_wire(Bytes(p->probe_bytes)), probe.wire_size());
   ctx_.metrics().probes_sent.add();
+  ctx_.log_event(node(), obs::EventKind::kProbeSend, -1,
+                 obs::event_id64(id.data()), p->selected);
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -150,6 +160,10 @@ void Paai2Source::on_probe_timeout(const net::PacketId& id) {
   Pending* p = pending_.find(id);
   if (p == nullptr) return;
   score_.add_probe(p->selected, /*prefix_failed=*/true);
+  // Prefix evidence: no report survived, so the failure lies somewhere in
+  // [l_0, l_{e-1}] (e = selected node) — no single link is named.
+  ctx_.log_event(node(), obs::EventKind::kScoreBlame, -1,
+                 obs::event_id64(id.data()), p->selected);
   pending_.erase(id);
 }
 
@@ -176,6 +190,8 @@ void Paai2Source::handle_dest_ack(const net::DestAck& ack) {
                 ByteView(ack.tag.data(), ack.tag.size()))) {
     return;
   }
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(ack.data_id.data()), /*b=*/0);
   pending_.erase(ack.data_id);  // clean round: no probe, no scoring
 }
 
@@ -184,6 +200,8 @@ void Paai2Source::handle_report(const net::ReportAck& ack) {
   Pending* p = pending_.find(ack.data_id);
   if (p == nullptr || !p->probed) return;
   if (ack.report.size() != kPaai2ReportSize) return;  // malformed: wait
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(ack.data_id.data()), /*b=*/1);
 
   // Peel E_{K_1} .. E_{K_e}.
   Bytes cur = ack.report;
@@ -215,7 +233,14 @@ void Paai2Source::handle_report(const net::ReportAck& ack) {
     }
   }
 
+  ctx_.log_event(node(), obs::EventKind::kOnionDecode, -1,
+                 obs::event_id64(ack.data_id.data()), p->selected,
+                 match ? 1.0 : 0.0);
   score_.add_probe(p->selected, /*prefix_failed=*/!match);
+  ctx_.log_event(node(),
+                 match ? obs::EventKind::kScoreClean
+                       : obs::EventKind::kScoreBlame,
+                 -1, obs::event_id64(ack.data_id.data()), p->selected);
   pending_.erase(ack.data_id);
 }
 

@@ -96,6 +96,8 @@ void SigAckSource::send_next() {
                node().sim().now() + 3 * ctx_.r0() + 8 * ctx_.timer_slack());
   node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
                    pkt.wire_size());
+  ctx_.log_event(node(), obs::EventKind::kDataSend, -1,
+                 obs::event_id64(id.data()), pkt.seq);
   ++sent_;
 
   node().sim().after(ctx_.r0() + ctx_.timer_slack(),
@@ -110,11 +112,15 @@ void SigAckSource::on_ack_timeout(const net::PacketId& id) {
   if (p == nullptr || p->probed) return;
   p->probed = true;
   score_.note_probe();
+  ctx_.log_event(node(), obs::EventKind::kAckTimeout, -1,
+                 obs::event_id64(id.data()));
   net::Probe probe;
   probe.data_id = id;
   node().originate(sim::Direction::kToDest, shared_wire(probe.encode()),
                    probe.wire_size());
   ctx_.metrics().probes_sent.add();
+  ctx_.log_event(node(), obs::EventKind::kProbeSend, -1,
+                 obs::event_id64(id.data()));
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, id] { on_probe_timeout(id); });
 }
@@ -128,8 +134,13 @@ void SigAckSource::on_probe_timeout(const net::PacketId& id) {
   if (k >= ctx_.d()) {
     score_.add_clean();
     ++delivered_;
+    ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                   obs::event_id64(id.data()), score_.observations());
   } else {
     score_.blame(k);
+    ctx_.log_event(node(), obs::EventKind::kScoreBlame,
+                   static_cast<std::int32_t>(k), obs::event_id64(id.data()),
+                   score_.observations(), score_.theta(k));
   }
   pending_.erase(id);
 }
@@ -150,11 +161,17 @@ void SigAckSource::handle_report(const net::ReportAck& ack) {
                                                    ack.report.size()),
                                     ack.data_id);
   if (!signer) return;
+  // b = signing node index (the destination's per-packet ack is b = d).
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1,
+                 obs::event_id64(ack.data_id.data()), *signer);
 
   if (*signer == ctx_.d() && !p->probed) {
     // The destination's per-packet signed ack: delivery confirmed.
     score_.add_clean();
     ++delivered_;
+    ctx_.log_event(node(), obs::EventKind::kScoreClean, -1,
+                   obs::event_id64(ack.data_id.data()),
+                   score_.observations());
     pending_.erase(ack.data_id);
     return;
   }

@@ -56,10 +56,17 @@ void StatFlSource::send_next() {
   pkt.timestamp_ns = static_cast<std::uint64_t>(node().local_now());
   pkt.payload_size = ctx_.params().payload_size;
   const net::PacketId id = pkt.id(ctx_.crypto());
-  if (statfl_counts(ctx_, 0, id)) ++own_count_;
+  const bool counted = statfl_counts(ctx_, 0, id);
+  if (counted) ++own_count_;
 
   node().originate(sim::Direction::kToDest, shared_wire(pkt.encode()),
                    pkt.wire_size());
+  ctx_.log_event(node(), obs::EventKind::kDataSend, -1,
+                 obs::event_id64(id.data()), pkt.seq);
+  if (counted) {
+    ctx_.log_event(node(), obs::EventKind::kSampleSelect, -1,
+                   obs::event_id64(id.data()), pkt.seq);
+  }
   ++sent_;
 
   if (sent_ % ctx_.params().fl_interval_packets == 0) {
@@ -85,12 +92,18 @@ void StatFlSource::request_report(std::uint64_t interval, int attempt) {
   if (attempt >= kMaxRequestAttempts) {
     awaiting_active_ = false;
     ++intervals_lost_;
+    // a = interval, b = attempts — the interval's report never arrived.
+    ctx_.log_event(node(), obs::EventKind::kAckTimeout, -1, interval,
+                   static_cast<std::uint64_t>(attempt));
     return;
   }
   net::FlRequest req;
   req.interval = interval;
   node().originate(sim::Direction::kToDest, shared_wire(req.encode()),
                    req.wire_size());
+  // a = interval, b = attempt — the FL report request plays probe here.
+  ctx_.log_event(node(), obs::EventKind::kProbeSend, -1, interval,
+                 static_cast<std::uint64_t>(attempt));
   node().sim().after(ctx_.r0() + 2 * ctx_.timer_slack(),
                      [this, interval, attempt] {
                        request_report(interval, attempt + 1);
@@ -107,6 +120,8 @@ void StatFlSource::on_packet(const sim::PacketEnv& env) {
 void StatFlSource::handle_report(const net::FlReport& report) {
   ctx_.metrics().fl_reports_received.add();
   if (!awaiting_active_ || report.interval != awaiting_) return;
+  ctx_.log_event(node(), obs::EventKind::kAckRecv, -1, report.interval,
+                 /*b=*/2);
 
   std::vector<std::uint64_t> counts(ctx_.d() + 1, 0);
   const std::uint64_t interval = report.interval;
@@ -126,6 +141,8 @@ void StatFlSource::handle_report(const net::FlReport& report) {
         return true;
       });
 
+  ctx_.log_event(node(), obs::EventKind::kOnionDecode, -1, report.interval,
+                 result.valid_layers);
   if (result.valid_layers < ctx_.d()) {
     // Broken or truncated onion: wait for a retransmission to bring a
     // complete one; the attempt counter bounds the wait.
@@ -138,6 +155,9 @@ void StatFlSource::handle_report(const net::FlReport& report) {
   }
   ++intervals_reported_;
   awaiting_active_ = false;
+  // a = interval, b = intervals folded in so far.
+  ctx_.log_event(node(), obs::EventKind::kScoreClean, -1, report.interval,
+                 intervals_reported_);
 }
 
 std::vector<double> StatFlSource::thetas() const {

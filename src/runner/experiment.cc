@@ -6,6 +6,7 @@
 
 #include "crypto/keystore.h"
 #include "faults/injector.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "protocols/factory.h"
 #include "sim/simulator.h"
@@ -55,6 +56,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         config.faults.max_extra_delay_ms();
   }
   sim::PathNetwork net(simulator, path_config);
+
+  // Forensic event log (optional, source-node attributed). Strictly
+  // observational: never read back into the result.
+  obs::EventLog* const events = path_config.events;
+  if (events != nullptr) {
+    events->append(0, obs::EventKind::kRunStart, /*ts_ns=*/0, /*link=*/-1,
+                   config.params.total_packets, config.path.seed,
+                   config.decision_threshold);
+  }
 
   const auto provider = crypto::make_crypto(config.crypto);
   const crypto::KeyStore keys(crypto::test_master_key(config.path.seed),
@@ -106,9 +116,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const std::uint64_t n : config.checkpoints) {
     const sim::SimTime t =
         static_cast<sim::SimTime>(n) * send_period + 3 * net.path_rtt_bound();
-    simulator.at(t, [&result, source, n, &config] {
-      result.checkpoints.push_back(
-          CheckpointResult{n, source->convicted(config.decision_threshold)});
+    simulator.at(t, [&result, &simulator, source, n, &config, events] {
+      std::vector<std::size_t> convicted =
+          source->convicted(config.decision_threshold);
+      if (events != nullptr) {
+        const auto thetas = source->thetas();
+        for (const std::size_t link : convicted) {
+          events->append(0, obs::EventKind::kConviction, simulator.now(),
+                         static_cast<std::int32_t>(link), /*a=*/n,
+                         source->observations(),
+                         link < thetas.size() ? thetas[link] : 0.0);
+        }
+      }
+      result.checkpoints.push_back(CheckpointResult{n, std::move(convicted)});
     });
   }
 
@@ -178,6 +198,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.true_link_loss.push_back(net.counters().true_link_loss(i));
   }
   result.events_processed = simulator.events_processed();
+
+  if (events != nullptr) {
+    // Final verdict: one conviction event per convicted link, then the
+    // run-end marker that closes the forensic stream.
+    for (const std::size_t link : result.final_convicted) {
+      events->append(0, obs::EventKind::kConviction, simulator.now(),
+                     static_cast<std::int32_t>(link), result.packets_sent,
+                     result.observations,
+                     link < result.final_thetas.size()
+                         ? result.final_thetas[link]
+                         : 0.0);
+    }
+    events->append(0, obs::EventKind::kRunEnd, simulator.now(), /*link=*/-1,
+                   result.packets_sent, result.observations);
+  }
 
   // Observability epilogue (no-ops while the registry is disabled; never
   // read back into the result). Gauge high-water across nodes gives the

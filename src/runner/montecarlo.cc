@@ -114,8 +114,10 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
       first_stable = i;
     }
     if (first_stable < run.checkpoints.size()) {
-      result.per_run_detection_packets.add(
-          static_cast<double>(run.checkpoints[first_stable].packets));
+      const double packets =
+          static_cast<double>(run.checkpoints[first_stable].packets);
+      result.per_run_detection_packets.add(packets);
+      result.detection_samples.push_back(packets);
       obs_detection.observe(run.checkpoints[first_stable].packets);
     }
 
@@ -141,6 +143,9 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
         cfg.path.seed = plan.seed(r);
         cfg.path.trace = config.trace;
         cfg.path.trace_track = static_cast<std::uint32_t>(r);
+        // Forensics attach to run 0 only: single writer, and the stream
+        // is bit-identical for any jobs value.
+        cfg.path.events = (r == 0) ? config.events : nullptr;
         obs_runs.add();
         const obs::ScopedTimer timer(obs_run_wall);
         reducer.commit(r, run_experiment(cfg));
@@ -159,6 +164,11 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
       result.detection_packets = pt.packets;
     }
   }
+  // Convergence timeline: percentile packets-to-detection over the runs
+  // that stabilized on the exact malicious set.
+  result.detection_p50 = quantile(result.detection_samples, 0.50);
+  result.detection_p90 = quantile(result.detection_samples, 0.90);
+  result.detection_p99 = quantile(result.detection_samples, 0.99);
   return result;
 }
 

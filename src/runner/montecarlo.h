@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exec/telemetry.h"
+#include "obs/events.h"
 #include "obs/tracer.h"
 #include "runner/experiment.h"
 #include "util/stats.h"
@@ -45,6 +46,12 @@ struct MonteCarloConfig {
   /// interleave. Purely observational — results are unaffected.
   obs::TraceRing* trace = nullptr;
 
+  /// Optional forensic event log. Attached to run 0 ONLY: a single run's
+  /// stream is causally coherent (one path, one clock) where an
+  /// interleaving of seeds would not be, and single-writer means the
+  /// stream is bit-identical for any jobs value. Purely observational.
+  obs::EventLog* events = nullptr;
+
   /// Optional progress callback. Invoked from a single reducer context
   /// (serialized, never concurrently) with the monotonically increasing
   /// count of completed runs, 1..runs, in order. Must not call back into
@@ -67,6 +74,14 @@ struct MonteCarloResult {
   /// Mean over runs of the first checkpoint from which the conviction set
   /// is exactly the malicious set and never regresses.
   RunningStat per_run_detection_packets;
+
+  /// The same per-run detection points as raw samples, in run order
+  /// (runs that never stabilize contribute no sample), plus the
+  /// convergence-timeline percentiles over them (0 when no run detected).
+  std::vector<double> detection_samples;
+  double detection_p50 = 0.0;
+  double detection_p90 = 0.0;
+  double detection_p99 = 0.0;
 
   RunningStat final_e2e_rate;
   RunningStat overhead_bytes_ratio;

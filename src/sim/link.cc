@@ -125,6 +125,10 @@ void Link::transmit(const PacketEnv& env) {
   }
   obs_.tx_packets.add();
   obs_.tx_bytes.add(env.wire_size);
+  // Trace attribution: link events land on the *sending* node's row
+  // (l_i connects F_i and F_{i+1}, so kToDest traffic is sent by F_i).
+  const std::uint32_t sender_pid = static_cast<std::uint32_t>(
+      env.dir == Direction::kToDest ? index_ : index_ + 1);
   const bool dropped = loss_process_ != nullptr
                            ? loss_process_->drop(sim_.now(), rng_)
                            : rng_.bernoulli(loss_rate_);
@@ -138,7 +142,7 @@ void Link::transmit(const PacketEnv& env) {
       trace_.ring->instant(
           drop_trace_name(type.value_or(net::PacketType::kData)), "sim",
           sim_.now() / kMicrosecond, trace_.track,
-          static_cast<std::int64_t>(index_));
+          static_cast<std::int64_t>(index_), sender_pid);
     }
     return;
   }
@@ -154,7 +158,7 @@ void Link::transmit(const PacketEnv& env) {
       trace_.ring->complete(
           tx_trace_name(type.value_or(net::PacketType::kData)), "sim",
           sim_.now() / kMicrosecond, delay / kMicrosecond, trace_.track,
-          static_cast<std::int64_t>(index_));
+          static_cast<std::int64_t>(index_), sender_pid);
     }
     sim_.after(delay, [target, env] { target->deliver(env); });
   }

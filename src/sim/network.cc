@@ -65,6 +65,11 @@ PathNetwork::PathNetwork(Simulator& sim, const PathConfig& config)
       nodes_.back()->set_clock_offset(milliseconds(clock_rng.uniform(
           -config.max_clock_error_ms, config.max_clock_error_ms)));
     }
+    // Per-node attribution: events carry the node index directly, and the
+    // node's trace pid is its path position (one Chrome row per node).
+    nodes_.back()->set_obs(
+        config.events, obs::TraceCtx{config.trace, config.trace_track,
+                                     static_cast<std::uint32_t>(i)});
   }
 
   links_.reserve(config.length);

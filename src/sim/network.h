@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/tracer.h"
 #include "sim/link.h"
 #include "sim/node.h"
@@ -49,6 +50,14 @@ struct PathConfig {
   /// Purely observational — never read by the simulation.
   obs::TraceRing* trace = nullptr;
   std::uint32_t trace_track = 0;
+  /// Optional structured event log (obs/events.h): when set, every node
+  /// records packet send/recv/forward and crash/restart events, and the
+  /// protocol engines record their forensic trail (sample selections,
+  /// ack timeouts, score updates, ...). Single-writer and purely
+  /// observational — never read by the simulation; the Monte-Carlo
+  /// driver attaches it to run 0 only so the stream is bit-identical
+  /// for any --jobs value.
+  obs::EventLog* events = nullptr;
 };
 
 class PathNetwork {

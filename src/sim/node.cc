@@ -1,6 +1,7 @@
 #include "sim/node.h"
 
 #include "sim/link.h"
+#include "sim/time.h"
 
 namespace paai::sim {
 
@@ -9,11 +10,27 @@ void Node::attach_agent(std::unique_ptr<Agent> agent) {
   agent_->node_ = this;
 }
 
+void Node::log_wire(obs::EventKind kind, const char* trace_name,
+                    const PacketEnv& env) {
+  const std::uint64_t type =
+      (env.wire != nullptr && !env.wire->empty()) ? (*env.wire)[0] : 0;
+  if (events_ != nullptr) {
+    events_->append(index_, kind, sim_.now(), /*link=*/-1, type,
+                    env.wire_size);
+  }
+  if (trace_.ring != nullptr) {
+    trace_.ring->instant(trace_name, "node", sim_.now() / kMicrosecond,
+                         trace_.track, static_cast<std::int64_t>(type),
+                         trace_.pid);
+  }
+}
+
 void Node::deliver(const PacketEnv& env) {
   if (!up_) {
     ++crash_drops_;
     return;
   }
+  log_wire(obs::EventKind::kPacketRecv, "rx", env);
   if (agent_) agent_->on_packet(env);
 }
 
@@ -22,19 +39,32 @@ void Node::originate(Direction dir, std::shared_ptr<const Bytes> wire,
   if (!up_) return;
   Link* link = dir == Direction::kToDest ? toward_dest_ : toward_source_;
   if (link == nullptr) return;
-  link->transmit(PacketEnv{std::move(wire), wire_size, dir});
+  PacketEnv env{std::move(wire), wire_size, dir};
+  log_wire(obs::EventKind::kPacketSend, "tx", env);
+  link->transmit(env);
 }
 
 void Node::forward(const PacketEnv& env) {
   if (!up_) return;
   Link* link = env.dir == Direction::kToDest ? toward_dest_ : toward_source_;
   if (link == nullptr) return;
+  log_wire(obs::EventKind::kPacketForward, "fwd", env);
   link->transmit(env);
 }
 
 void Node::set_up(bool up) {
   if (up == up_) return;
   up_ = up;
+  if (events_ != nullptr) {
+    events_->append(
+        index_, up_ ? obs::EventKind::kNodeRestart : obs::EventKind::kNodeCrash,
+        sim_.now());
+  }
+  if (trace_.ring != nullptr) {
+    trace_.ring->instant(up_ ? "restart" : "crash", "node",
+                         sim_.now() / kMicrosecond, trace_.track,
+                         obs::kTraceNoArg, trace_.pid);
+  }
   if (!up_) {
     for (const auto& hook : crash_hooks_) hook();
     if (agent_) agent_->on_crash();

@@ -182,6 +182,56 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("[not json"), std::invalid_argument);
 }
 
+TEST(FaultPlan, FuzzedSpecsRejectCleanlyOrRoundTrip) {
+  // Mutation fuzz over the compact grammar: every mutated spec must either
+  // parse (and then survive a parse(to_string()) round trip) or throw
+  // std::invalid_argument — never crash, never throw anything else.
+  const std::vector<std::string> seeds = {
+      "ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15",
+      "set@1:t=150,loss=0.02,lat=3.5,jitter=0.5",
+      "outage@3:t=120,dur=1.5",
+      "reorder@1:p=0.05,delay=2",
+      "dup@4:p=0.01",
+      "ge@2:pb=0.3,g2b=0.01,b2g=0.2;outage@3:t=60,dur=2;dup@1:p=0.02",
+      "",
+  };
+  const std::string charset = "0123456789abcdefgXZ@:;,=.+- \t";
+  Rng rng(20260805);
+
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string spec = seeds[rng.next_below(seeds.size())];
+    // 0..3 random edits; zero edits keeps some iterations on the valid
+    // seeds so the accept path stays exercised.
+    const std::uint64_t edits = rng.next_below(4);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      const std::uint64_t op = rng.next_below(3);
+      if (spec.empty() || op == 2) {
+        spec.insert(rng.next_below(spec.size() + 1),
+                    1, charset[rng.next_below(charset.size())]);
+      } else if (op == 0) {
+        spec[rng.next_below(spec.size())] =
+            charset[rng.next_below(charset.size())];
+      } else {
+        spec.erase(rng.next_below(spec.size()), 1);
+      }
+    }
+    try {
+      const FaultPlan plan = FaultPlan::parse(spec);
+      // Accepted: the canonical rendering must reparse to itself.
+      const FaultPlan again = FaultPlan::parse(plan.to_string());
+      EXPECT_EQ(again.to_string(), plan.to_string()) << "spec: " << spec;
+      ++accepted;
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // clean rejection is the expected failure mode
+    }
+  }
+  // The mutator must have exercised both paths.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
 TEST(FaultPlan, ProvisioningWorstCases) {
   const FaultPlan plan = FaultPlan::parse(
       "set@3:t=60,lat=4.5,jitter=0.5;set@3:t=240,lat=8;"

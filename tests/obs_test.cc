@@ -6,6 +6,7 @@
 // every emitted document must survive the strict parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -14,6 +15,8 @@
 #include <vector>
 
 #include "exec/parallel_for.h"
+#include "obs/events.h"
+#include "obs/forensics.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -409,6 +412,120 @@ TEST(Report, DocumentMatchesSchemaAndSurvivesStrictParse) {
 
 // ------------------------------------------------------- integration (MC)
 
+TEST(Events, KindNamesRoundTrip) {
+  for (int i = 0; i < kEventKindCount; ++i) {
+    const EventKind kind = static_cast<EventKind>(i);
+    const char* name = event_kind_name(kind);
+    ASSERT_NE(name, nullptr);
+    const auto back = event_kind_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(event_kind_from_name("no-such-kind").has_value());
+  EXPECT_FALSE(event_kind_from_name("").has_value());
+}
+
+TEST(Events, BoundedRingOverflowKeepsNewest) {
+  EventLog log(/*per_node_capacity=*/8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    log.append(3, EventKind::kDataSend, static_cast<std::int64_t>(i),
+               /*link=*/-1, /*a=*/i, /*b=*/0, 0.0);
+  }
+  EXPECT_EQ(log.recorded(), 20u);
+  EXPECT_EQ(log.retained(), 8u);
+  EXPECT_EQ(log.dropped(), 12u);
+  const auto merged = log.merged();
+  ASSERT_EQ(merged.size(), 8u);
+  // The ring keeps the newest-capacity window: events 12..19.
+  EXPECT_EQ(merged.front().ts_ns, 12);
+  EXPECT_EQ(merged.back().ts_ns, 19);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LT(merged[i - 1].seq, merged[i].seq);
+  }
+  log.clear();
+  EXPECT_EQ(log.recorded(), 0u);
+  EXPECT_EQ(log.retained(), 0u);
+}
+
+TEST(Events, JsonlRoundTripsThroughStrictParser) {
+  EventLog log;
+  // u64 payloads above 2^53 must survive exactly (they are packet-id
+  // halves), as must negative "no link" markers and double scores.
+  log.append(0, EventKind::kRunStart, 0, -1, 20000, 1, 0.018);
+  log.append(0, EventKind::kDataSend, 10'000'000, -1,
+             0xdeadbeefcafebabeULL, 7, 0.0);
+  log.append(2, EventKind::kPacketForward, 12'345'678, -1, 0x3d, 1019, 0.0);
+  log.append(0, EventKind::kScoreBlame, 99'000'000, 3,
+             0xffffffffffffffffULL, 42, 0.234567891234567);
+  log.append(5, EventKind::kNodeCrash, 4'000'000'000'000LL, -1, 0, 0, 0.0);
+
+  std::ostringstream os;
+  log.write_jsonl(os);
+  const std::string text = os.str();
+
+  // Every line is strict-parser-valid JSON.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    ASSERT_TRUE(json_parse(line, &error).has_value())
+        << error << " in " << line;
+  }
+
+  std::istringstream in(text);
+  std::string error;
+  const auto back = EventLog::read_jsonl(in, &error);
+  ASSERT_EQ(back.size(), 5u) << error;
+  const auto original = log.merged();
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i], original[i]) << "event " << i;
+  }
+}
+
+TEST(Events, ReadJsonlReportsMalformedInput) {
+  std::istringstream in("{\"ts_ns\":1}\nnot json at all\n");
+  std::string error;
+  const auto events = EventLog::read_jsonl(in, &error);
+  EXPECT_TRUE(events.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Forensics, ConvictionAuditMatchesVerdict) {
+  // The acceptance scenario: PAAI-1, adversary planted at l_3. The audit
+  // trail replayed from the event log must name exactly the links the
+  // run's own verdict convicted.
+  EventLog log(1 << 16);
+  runner::ExperimentConfig cfg =
+      runner::paper_config(protocols::ProtocolKind::kPaai1, 20000, 1);
+  cfg.link_faults.clear();
+  cfg.link_faults.push_back(runner::LinkFault{3, 0.02});
+  cfg.path.events = &log;
+  const runner::ExperimentResult r = runner::run_experiment(cfg);
+  ASSERT_FALSE(r.final_convicted.empty());
+
+  const ForensicsReport report = forensics_analyze(log.merged());
+  EXPECT_EQ(report.threshold, cfg.decision_threshold);
+  EXPECT_EQ(report.packets_sent, r.packets_sent);
+  EXPECT_EQ(report.observations, r.observations);
+
+  // Final verdicts in the report == the run's convicted set.
+  std::vector<std::size_t> audited;
+  for (const auto& c : report.convictions) {
+    if (c.final_verdict) audited.push_back(c.link);
+  }
+  std::sort(audited.begin(), audited.end());
+  audited.erase(std::unique(audited.begin(), audited.end()), audited.end());
+  EXPECT_EQ(audited, r.final_convicted);
+
+  std::ostringstream os;
+  write_audit_trail(os, report);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("CONVICTED l_3"), std::string::npos) << text;
+  EXPECT_NE(text.find("blames:"), std::string::npos);
+  EXPECT_NE(text.find("score trajectory"), std::string::npos);
+}
+
 TEST(Integration, MonteCarloPopulatesMetricsAndTrace) {
   RegistryGuard guard;
   TraceRing ring(1 << 12);
@@ -470,6 +587,48 @@ TEST(Integration, MetricsNeverAffectResults) {
   }
   EXPECT_EQ(with.total_events, without.total_events);
   EXPECT_EQ(with.final_e2e_rate.mean(), without.final_e2e_rate.mean());
+}
+
+TEST(Integration, EventsNeverAffectResults) {
+  // The forensic log is strictly observational: enabling it (under any
+  // jobs value) must leave every Monte-Carlo aggregate bit-identical,
+  // and the single-writer run-0 stream itself must be bit-identical
+  // across jobs values.
+  auto run_once = [](EventLog* log, std::size_t jobs) {
+    runner::MonteCarloConfig mc;
+    mc.base = runner::paper_config(protocols::ProtocolKind::kPaai1, 400, 0);
+    mc.base.checkpoints = {200, 400};
+    mc.runs = 3;
+    mc.seed0 = 7;
+    mc.jobs = jobs;
+    mc.events = log;
+    return runner::run_monte_carlo(mc);
+  };
+
+  EventLog log_a;
+  const auto with = run_once(&log_a, 2);
+  const auto without = run_once(nullptr, 1);
+  EXPECT_GT(log_a.recorded(), 0u);
+
+  ASSERT_EQ(with.curve.size(), without.curve.size());
+  for (std::size_t i = 0; i < with.curve.size(); ++i) {
+    EXPECT_EQ(with.curve[i].fp, without.curve[i].fp);
+    EXPECT_EQ(with.curve[i].fn, without.curve[i].fn);
+  }
+  EXPECT_EQ(with.total_events, without.total_events);
+  EXPECT_EQ(with.final_e2e_rate.mean(), without.final_e2e_rate.mean());
+  EXPECT_EQ(with.detection_samples, without.detection_samples);
+  EXPECT_EQ(with.detection_p50, without.detection_p50);
+  EXPECT_EQ(with.detection_p99, without.detection_p99);
+
+  // Same config, different jobs: the exported run-0 stream is identical.
+  EventLog log_b;
+  run_once(&log_b, 4);
+  std::ostringstream os_a;
+  std::ostringstream os_b;
+  log_a.write_jsonl(os_a);
+  log_b.write_jsonl(os_b);
+  EXPECT_EQ(os_a.str(), os_b.str());
 }
 
 }  // namespace

@@ -16,11 +16,20 @@
 # construction (tests/obs_test.cc round-trips them through the strict
 # parser), so embedding them verbatim keeps the suite document valid.
 #
-# Usage: tools/bench_snapshot.sh [label [build-dir]]
+# Usage: tools/bench_snapshot.sh [--full] [label [build-dir]]
 #        (defaults: label=$(git rev-parse --short HEAD), build-dir=build)
+#
+# --full switches from the few-minute smoke subset to the paper-scale
+# suite: every bench binary at (or near) its default figure scale. Budget
+# hours, not minutes — this is the overnight/release snapshot.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+  FULL=1
+  shift
+fi
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 BUILD_DIR="${2:-build}"
 OUT="BENCH_${LABEL}.json"
@@ -32,15 +41,37 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
   exit 1
 fi
 
-# name:binary:extra-args — a subset that finishes in a few minutes and
-# still covers analytic bounds, a detection curve, the overhead/practicality
-# numbers, and the obs hot-path micro costs.
+# name:binary:extra-args — the default subset finishes in a few minutes
+# and still covers analytic bounds, a detection curve, the
+# overhead/practicality numbers, and the obs hot-path micro costs.
 SPECS=(
   "bench_table1:bench_table1:"
   "bench_fig2_fullack:bench_fig2_fullack:--scale=5 --runs=8"
   "bench_ablation:bench_ablation:--scale=10 --runs=6"
-  "bench_micro:bench_micro:--benchmark_filter=BM_CounterAdd|BM_HistogramObserve|BM_Sha256|BM_EventQueue"
+  "bench_micro:bench_micro:--benchmark_filter=BM_CounterAdd|BM_HistogramObserve|BM_EventLogAppend|BM_Sha256|BM_EventQueue"
 )
+
+# --full: every bench binary at paper scale (figure defaults; run counts
+# trimmed only where the paper's 10000-run fleets would take days).
+if [[ $FULL -eq 1 ]]; then
+  SPECS=(
+    "bench_table1:bench_table1:"
+    "bench_table2:bench_table2:"
+    "bench_theorem1:bench_theorem1:"
+    "bench_corollary3:bench_corollary3:"
+    "bench_fig2_fullack:bench_fig2_fullack:--runs=100"
+    "bench_fig2_paai1:bench_fig2_paai1:--runs=100"
+    "bench_fig2_paai2:bench_fig2_paai2:--runs=100"
+    "bench_fig3_storage:bench_fig3_storage:"
+    "bench_fig3c_positions:bench_fig3c_positions:"
+    "bench_combinations:bench_combinations:"
+    "bench_ablation:bench_ablation:"
+    "bench_asymmetric:bench_asymmetric:"
+    "bench_robustness:bench_robustness:"
+    "bench_sec9_tradeoff:bench_sec9_tradeoff:"
+    "bench_micro:bench_micro:"
+  )
+fi
 
 names=()
 for spec in "${SPECS[@]}"; do

@@ -22,6 +22,11 @@
 #   3. bench_diff — self-test fixtures, then a same-file diff against the
 #      committed snapshot (must report zero drift against itself).
 #
+#   4. forensics smoke — a small PAAI-1 run (adversary at l_3) with
+#      --events-out, replayed through `paai explain`; the audit trail must
+#      name the planted link, and the emitted paai.bench.v1 report must
+#      diff cleanly against itself.
+#
 # Usage: tools/check.sh [tsan-build-dir [asan-build-dir]]
 #        (defaults: build-tsan build-asan)
 set -euo pipefail
@@ -60,4 +65,27 @@ echo "== leg 3: bench_diff =="
 # A snapshot diffed against itself must be drift-free.
 "$ASAN_DIR/tools/bench_diff" BENCH_pr3.json BENCH_pr3.json
 
-echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean"
+echo "== leg 4: forensics smoke (paai run --events-out -> paai explain) =="
+cmake --build "$ASAN_DIR" --target paai -j "$(nproc)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$ASAN_DIR/tools/paai" run --protocol=paai1 --packets=20000 --seed=1 \
+    --fault=3:0.02 --events-out="$SMOKE_DIR/events.jsonl" \
+    --events-cap=65536 --metrics-out="$SMOKE_DIR/run.json" \
+    > "$SMOKE_DIR/run.stdout"
+"$ASAN_DIR/tools/paai" explain "$SMOKE_DIR/events.jsonl" \
+    > "$SMOKE_DIR/explain.stdout"
+grep -q "CONVICTED l_3" "$SMOKE_DIR/explain.stdout" || {
+  echo "leg 4 FAILED: audit trail did not convict l_3:" >&2
+  cat "$SMOKE_DIR/explain.stdout" >&2
+  exit 1
+}
+# The run's verdict table and the replayed audit trail must agree.
+grep -q "CONVICTED" "$SMOKE_DIR/run.stdout" || {
+  echo "leg 4 FAILED: run verdict table has no conviction" >&2
+  exit 1
+}
+# The emitted paai.bench.v1 report must be valid (self-diff is clean).
+"$ASAN_DIR/tools/bench_diff" "$SMOKE_DIR/run.json" "$SMOKE_DIR/run.json"
+
+echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean"

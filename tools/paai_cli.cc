@@ -1,8 +1,10 @@
 // paai — command-line driver for the library.
 //
-//   paai run    [options]   run one experiment and print the verdict
-//   paai curve  [options]   Monte-Carlo FP/FN curve over packet counts
-//   paai bounds [options]   evaluate the §7 closed forms
+//   paai run     [options]  run one experiment and print the verdict
+//   paai curve   [options]  Monte-Carlo FP/FN curve over packet counts
+//   paai bounds  [options]  evaluate the §7 closed forms
+//   paai explain FILE       replay a forensic event log (JSONL, written by
+//                           --events-out) into a conviction audit trail
 //
 // Options (all commands):
 //   --protocol=NAME   full-ack | paai1 | paai2 | comb1 | comb2 | statfl |
@@ -27,6 +29,9 @@
 //   --metrics-out=F   write a paai.bench.v1 JSON document (metrics +
 //                     src/obs counters) for the command
 //   --trace-out=F     write a Chrome trace_event JSON
+//   --events-out=F    write the forensic event log as JSONL (run: the
+//                     experiment; curve: Monte-Carlo run 0)
+//   --events-cap=N    per-node event-ring capacity            (default 32768)
 //
 // Examples:
 //   paai run --protocol=paai1 --fault=4:0.02
@@ -35,13 +40,17 @@
 //   paai curve --protocol=paai2 --packets=400000 --runs=20
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "analysis/bounds.h"
 #include "bench/bench_common.h"
 #include "faults/plan.h"
+#include "obs/events.h"
+#include "obs/forensics.h"
 #include "runner/montecarlo.h"
 #include "util/csv.h"
 
@@ -152,15 +161,40 @@ ExperimentConfig config_from_args(int argc, char** argv) {
   return cfg;
 }
 
+/// --events-out / --events-cap handling shared by run and curve. Returns
+/// a live log only when the user asked for one.
+std::unique_ptr<obs::EventLog> make_event_log(int argc, char** argv) {
+  if (!get_opt(argc, argv, "events-out")) return nullptr;
+  const std::size_t cap = std::stoul(
+      get_opt(argc, argv, "events-cap").value_or("32768"));
+  return std::make_unique<obs::EventLog>(cap);
+}
+
+void write_event_log(int argc, char** argv, const obs::EventLog& log) {
+  const auto path = get_opt(argc, argv, "events-out");
+  if (!path) return;
+  std::ofstream out(*path);
+  if (!out) throw CliError{"cannot open '" + *path + "' for writing"};
+  log.write_jsonl(out);
+  std::fprintf(stderr,
+               "events: %llu recorded, %llu dropped (ring cap %zu) -> %s\n",
+               static_cast<unsigned long long>(log.recorded()),
+               static_cast<unsigned long long>(log.dropped()),
+               log.per_node_capacity(), path->c_str());
+}
+
 int cmd_run(int argc, char** argv) {
   bench::BenchSession session("paai.run", argc, argv);
   ExperimentConfig cfg = config_from_args(argc, argv);
   cfg.path.trace = session.trace();
+  const auto events = make_event_log(argc, argv);
+  cfg.path.events = events.get();
   const bool csv = has_flag(argc, argv, "--csv");
   std::fprintf(stderr, "running %s on a %zu-hop path, %llu packets...\n",
                protocols::protocol_name(cfg.protocol), cfg.path.length,
                static_cast<unsigned long long>(cfg.params.total_packets));
   const ExperimentResult r = run_experiment(cfg);
+  if (events) write_event_log(argc, argv, *events);
   session.info("protocol", protocols::protocol_name(cfg.protocol));
   if (!cfg.faults.empty()) session.info("faults", cfg.faults.to_string());
   session.metric("convicted_links",
@@ -199,6 +233,8 @@ int cmd_curve(int argc, char** argv) {
   MonteCarloConfig mc;
   mc.base = config_from_args(argc, argv);
   mc.trace = session.trace();
+  const auto events = make_event_log(argc, argv);
+  mc.events = events.get();
   mc.runs = std::stoul(get_opt(argc, argv, "runs").value_or("50"));
   mc.jobs = std::stoul(get_opt(argc, argv, "jobs").value_or("0"));
   if (mc.base.link_faults.empty() && mc.base.adversaries.empty()) {
@@ -218,6 +254,7 @@ int cmd_curve(int argc, char** argv) {
                static_cast<unsigned long long>(mc.base.params.total_packets),
                protocols::protocol_name(mc.base.protocol));
   const MonteCarloResult r = run_monte_carlo(mc);
+  if (events) write_event_log(argc, argv, *events);
   session.exec(r.exec);
   session.info("protocol", protocols::protocol_name(mc.base.protocol));
   if (!mc.base.faults.empty()) {
@@ -230,6 +267,11 @@ int cmd_curve(int argc, char** argv) {
   if (!r.curve.empty()) {
     session.metric("final_fp", r.curve.back().fp);
     session.metric("final_fn", r.curve.back().fn);
+  }
+  if (!r.detection_samples.empty()) {
+    session.metric("detection_packets_p50", r.detection_p50);
+    session.metric("detection_packets_p90", r.detection_p90);
+    session.metric("detection_packets_p99", r.detection_p99);
   }
 
   Table table({"packets", "false_positive", "false_negative"});
@@ -246,7 +288,29 @@ int cmd_curve(int argc, char** argv) {
   } else {
     std::printf("\nnot converged within budget\n");
   }
+  if (!r.detection_samples.empty()) {
+    std::printf("detection timeline over %zu/%zu runs: p50 %.0f  p90 %.0f  "
+                "p99 %.0f packets\n",
+                r.detection_samples.size(), r.runs, r.detection_p50,
+                r.detection_p90, r.detection_p99);
+  }
   return 0;
+}
+
+int cmd_explain(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') {
+    throw CliError{"explain wants an event-log file: paai explain FILE"};
+  }
+  std::ifstream in(argv[2]);
+  if (!in) throw CliError{std::string("cannot open '") + argv[2] + "'"};
+  std::string error;
+  const std::vector<obs::Event> events = obs::EventLog::read_jsonl(in, &error);
+  if (events.empty()) {
+    throw CliError{error.empty() ? std::string("empty event log") : error};
+  }
+  const obs::ForensicsReport report = obs::forensics_analyze(events);
+  obs::write_audit_trail(std::cout, report);
+  return report.convictions.empty() ? 1 : 0;
 }
 
 int cmd_bounds(int argc, char** argv) {
@@ -285,8 +349,11 @@ void usage() {
       "            [--faults=SPEC] [--runs=N] [--jobs=N] [--seed=N] "
       "[--csv]\n"
       "            [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "            [--events-out=FILE] [--events-cap=N]\n"
+      "       paai explain FILE    audit trail from an --events-out log\n"
       "see tools/paai_cli.cc header for details and examples; the fault\n"
-      "plan grammar is documented in docs/FAULTS.md\n");
+      "plan grammar is documented in docs/FAULTS.md, the forensic event\n"
+      "log in docs/OBSERVABILITY.md\n");
 }
 
 }  // namespace
@@ -301,6 +368,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "curve") return cmd_curve(argc, argv);
     if (cmd == "bounds") return cmd_bounds(argc, argv);
+    if (cmd == "explain") return cmd_explain(argc, argv);
   } catch (const CliError& e) {
     std::fprintf(stderr, "error: %s\n", e.message.c_str());
     return 2;
