@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
     spec.kind = AdversarySpec::Kind::kWithholdRelease;
     spec.rate = 1.0;  // withhold everything; release only if probed
     cfg.adversaries.push_back(spec);
+    args.apply_adversaries(cfg);
 
     const ExperimentResult r = run_experiment(cfg);
     // Ground truth: fraction of data crossings vs a clean run (~d per pkt).
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
     spec.kind = AdversarySpec::Kind::kOriginFilter;
     spec.min_origin = 3;  // suppress acks of F_3.. to frame l_2
     cfg.adversaries.push_back(spec);
+    args.apply_adversaries(cfg);
 
     const ExperimentResult r = run_experiment(cfg);
     bool framed = false;

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg = paper_config(plan.kind, plan.packets, 0);
     cfg.crypto = crypto::CryptoKind::kReal;  // honest crypto cost
     cfg.params.send_rate_pps = 500.0;
+    args.apply_adversaries(cfg);
 
     const auto t0 = std::chrono::steady_clock::now();
     const ExperimentResult r = run_experiment(cfg);

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(plan.packets));
     const auto mc =
         bench::detection_curve(plan.kind, plan.packets, plan.runs, 12, 2000,
-                               args.jobs, session.trace());
+                               args.jobs, session.trace(), &args);
     session.exec(mc.exec);
 
     // Storage probe (short run).

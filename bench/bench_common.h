@@ -17,9 +17,12 @@
 //                       chrome://tracing or https://ui.perfetto.dev)
 //   --faults SPEC       scripted benign fault plan (compact grammar or
 //                       JSON; see docs/FAULTS.md) applied to every run
+//   --adversary SPEC    declarative adversary plan (compact grammar or
+//                       JSON; see docs/ADVERSARIES.md) applied to every
+//                       run — replaces the bench's built-in adversary
 // Malformed integer flag/env values are a hard error (exit 2), never a
-// silent default; a malformed --faults spec throws from parse() with a
-// diagnostic naming the offending clause.
+// silent default; a malformed --faults or --adversary spec throws from
+// parse() with a diagnostic naming the offending clause.
 #pragma once
 
 #include <chrono>
@@ -29,13 +32,16 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "adversary/spec.h"
 #include "faults/plan.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 #include "runner/montecarlo.h"
 #include "util/csv.h"
+#include "util/specgrammar.h"
 
 namespace paai::bench {
 
@@ -47,6 +53,7 @@ struct BenchArgs {
   std::optional<std::string> metrics_out;
   std::optional<std::string> trace_out;
   faults::FaultPlan faults{};
+  adversary::AdversaryPlan adversaries{};
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -62,11 +69,47 @@ struct BenchArgs {
     if (const auto spec = flag_str(argc, argv, "--faults")) {
       args.faults = faults::FaultPlan::parse(*spec);
     }
+    if (const auto spec = flag_str(argc, argv, "--adversary")) {
+      // Parse only what is recognizably the plan grammar (compact clauses
+      // carry '@', JSON starts with '[' or '{'); anything else is left for
+      // the program — the paai CLI accepts a legacy NODE:KIND:RATE form
+      // through the same argv.
+      const std::string_view t = util::spec_trim(*spec);
+      if (!t.empty() &&
+          (t.find('@') != std::string_view::npos || t.front() == '[' ||
+           t.front() == '{')) {
+        args.adversaries = adversary::AdversaryPlan::parse(*spec);
+      }
+    }
     return args;
   }
 
   std::size_t runs_or(std::size_t dflt) const {
     return runs > 0 ? static_cast<std::size_t>(runs) : dflt;
+  }
+
+  /// Applies --adversary to an experiment config: replaces the bench's
+  /// built-in adversary (strategy specs AND composed link faults) with the
+  /// user's plan. Returns true when a plan was applied; callers tracking
+  /// ground truth must then retarget the malicious set (node N charges its
+  /// downstream link l_N).
+  bool apply_adversaries(runner::ExperimentConfig& cfg) const {
+    if (adversaries.empty()) return false;
+    cfg.adversaries.assign(adversaries.specs.begin(),
+                           adversaries.specs.end());
+    cfg.link_faults.clear();
+    return true;
+  }
+
+  /// Monte-Carlo variant: also retargets malicious_links to the plan's
+  /// compromised nodes.
+  bool apply_adversaries(runner::MonteCarloConfig& mc) const {
+    if (!apply_adversaries(mc.base)) return false;
+    mc.malicious_links.clear();
+    for (const auto& spec : adversaries.specs) {
+      mc.malicious_links.push_back(spec.node);
+    }
+    return true;
   }
 
   std::uint64_t scaled(std::uint64_t packets) const {
@@ -181,7 +224,8 @@ inline void print_header(const char* title, const char* paper_ref) {
 inline runner::MonteCarloResult detection_curve(
     protocols::ProtocolKind kind, std::uint64_t packets, std::size_t runs,
     std::size_t grid_points = 16, std::uint64_t first_checkpoint = 100,
-    std::size_t jobs = 0, obs::TraceRing* trace = nullptr) {
+    std::size_t jobs = 0, obs::TraceRing* trace = nullptr,
+    const BenchArgs* cli = nullptr) {
   runner::MonteCarloConfig mc;
   mc.base = runner::paper_config(kind, packets, 0);
   mc.base.checkpoints =
@@ -192,6 +236,7 @@ inline runner::MonteCarloResult detection_curve(
   mc.sigma = 0.03;
   mc.jobs = jobs;
   mc.trace = trace;
+  if (cli != nullptr) cli->apply_adversaries(mc);
   return runner::run_monte_carlo(mc);
 }
 

@@ -42,6 +42,7 @@ void run_rate(bench::BenchSession& session, double rate_pps,
     mc.base.storage_sample_period =
         sim::milliseconds(1000.0 / rate_pps);  // once per packet slot
     mc.base.bypass_after_packets = col.bypass_after;
+    session.args.apply_adversaries(mc);
     mc.runs = runs;
     mc.seed0 = 3000;
     mc.jobs = jobs;

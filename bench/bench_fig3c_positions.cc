@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   mc.base.link_faults.push_back(LinkFault{4, 0.1});
   mc.base.bypass_after_packets = 1000;
   mc.base.storage_sample_period = sim::milliseconds(1.0);
+  args.apply_adversaries(mc);
   mc.runs = runs;
   mc.seed0 = 5000;
   mc.jobs = args.jobs;

@@ -143,6 +143,7 @@ int main(int argc, char** argv) {
       mc.seed0 = 500;
       mc.malicious_links = {4};
       mc.sigma = 0.03;
+      args.apply_adversaries(mc);
       mc.jobs = args.jobs;
       mc.trace = session.trace();
       const MonteCarloResult r = run_monte_carlo(mc);
@@ -171,6 +172,93 @@ int main(int argc, char** argv) {
   std::printf(
       "\nburstiness may stretch the transient; the final verdict (fp = "
       "fn = 0 at the horizon) must hold in both conditions\n");
+
+  // --- C: detection-vs-stealth frontier ---------------------------------
+  // Adaptive adversaries trade damage for detectability. For each strategy
+  // point we measure both axes over Monte-Carlo runs:
+  //   achieved   = ground-truth data loss on the adversary's downstream
+  //                link l_4 (what the attack actually cost the data plane;
+  //                rho = 0.01 of it is natural);
+  //   theta_4    = the scorer's estimate of that link (what detection saw);
+  //   undetected = fraction of runs NOT convicting l_4 at the horizon.
+  // The frontier is the curve those points trace: strategies riding under
+  // psi_th (stealth margin < 1) or hiding in benign cover must buy their
+  // invisibility with proportionally less damage — an adversary that does
+  // real damage gets caught, one that stays hidden is bounded to
+  // threshold-level loss. Colluder points run with the calibrated bursty
+  // plan on honest l_2 as cover.
+  struct FrontierPoint {
+    const char* label;
+    const char* spec;
+    const char* cover;  // benign fault plan providing the hiding windows
+  };
+  const std::vector<FrontierPoint> frontier = {
+      {"stealth-m050", "stealth@4:margin=0.5", ""},
+      {"stealth-m090", "stealth@4:margin=0.9", ""},
+      {"stealth-m120", "stealth@4:margin=1.2", ""},
+      {"onoff-d25", "onoff@4:rate=0.25,on=5,off=15", ""},
+      {"onoff-d75", "onoff@4:rate=0.25,on=15,off=5", ""},
+      {"collude-r05", "collude@4:rate=0.5", kBurst},
+      {"collude-r10", "collude@4:rate=1", kBurst},
+      {"probeshy-c5", "probeshy@4:rate=0.05,cooldown=5", ""},
+  };
+  Table c({"strategy", "protocol", "true_l4_loss", "est_theta4",
+           "undetected", "fp", "detect_pkts"});
+  for (const auto& point : frontier) {
+    const adversary::AdversaryPlan plan =
+        adversary::AdversaryPlan::parse(point.spec);
+    for (const auto kind : {protocols::ProtocolKind::kFullAck,
+                            protocols::ProtocolKind::kPaai1,
+                            protocols::ProtocolKind::kPaai2}) {
+      MonteCarloConfig mc;
+      mc.base = paper_config(kind, packets, 0);
+      mc.base.link_faults.clear();  // the strategy IS the adversary
+      mc.base.adversaries = plan.specs;
+      if (point.cover[0] != '\0') {
+        mc.base.faults = faults::FaultPlan::parse(point.cover);
+      }
+      mc.base.checkpoints = log_checkpoints(100, packets, 12);
+      mc.runs = args.runs_or(3);
+      mc.seed0 = 900;
+      mc.malicious_links = {4};
+      mc.sigma = 0.03;
+      mc.jobs = args.jobs;
+      mc.trace = session.trace();
+      const MonteCarloResult r = run_monte_carlo(mc);
+      session.exec(r.exec);
+
+      const double achieved = r.true_link_loss[4].mean();
+      const double theta = r.final_thetas[4].mean();
+      const double undetected = r.curve.back().fn;
+      const double fp = r.curve.back().fp;
+      const std::string prefix = std::string("frontier.") + point.label +
+                                 "." + protocols::protocol_name(kind);
+      session.metric(prefix + ".achieved", achieved);
+      session.metric(prefix + ".theta", theta);
+      session.metric(prefix + ".undetected", undetected);
+      session.metric(prefix + ".fp", fp);
+      if (r.detection_packets) {
+        session.metric(prefix + ".detection_packets",
+                       static_cast<double>(*r.detection_packets));
+      }
+      c.row()
+          .cell(point.label)
+          .cell(protocols::protocol_name(kind))
+          .num(achieved, 4)
+          .num(theta, 4)
+          .num(undetected, 3)
+          .num(fp, 3)
+          .cell(r.detection_packets ? std::to_string(*r.detection_packets)
+                                    : std::string("evaded"));
+    }
+  }
+  c.print(std::cout, args.csv);
+  std::printf(
+      "\nfrontier reading: high true_l4_loss with 'evaded' = a detection "
+      "gap; stealth points are *designed* to evade by capping their own "
+      "damage near psi_th, so 'evaded' with true_l4_loss <~ threshold is "
+      "the estimator working as specified, not a failure\n");
+
   // The invariant is only meaningful at full sample size; reduced --scale
   // runs are smoke tests where estimator variance alone can convict.
   return (total_false == 0 || args.scale < 1.0) ? 0 : 1;

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   mc.base.params.probe_probability = p_small;
   mc.base.params.payload_size = 1500;  // "each data packet is 1.5KB"
   mc.base.checkpoints = log_checkpoints(5000, packets, 14);
+  args.apply_adversaries(mc);
   mc.runs = runs;
   mc.seed0 = 1000;
   mc.jobs = args.jobs;

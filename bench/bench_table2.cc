@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(plan.packets));
     const auto mc = bench::detection_curve(plan.kind, plan.packets, plan.runs,
                                            14, 100, args.jobs,
-                                           session.trace());
+                                           session.trace(), &args);
     session.exec(mc.exec);
     const double bound_min = analysis::detection_minutes(plan.bound_packets,
                                                          100.0);

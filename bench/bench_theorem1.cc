@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     mc.base.link_faults = {LinkFault{4, extra}};
     mc.base.checkpoints = log_checkpoints(1000, mc.base.params.total_packets,
                                           12);
+    args.apply_adversaries(mc);
     mc.runs = runs;
     mc.seed0 = 1000;
     mc.jobs = args.jobs;

@@ -1,0 +1,192 @@
+// Adaptive adversary strategies: stateful droppers that react to the
+// observation channel (strategy.h) instead of tossing a fixed coin.
+//
+// Design constraints shared by all four:
+//   * Determinism: every random decision draws only from the strategy's
+//     private Rng stream (forked from the run seed), and every observed
+//     quantity (sim time, fault-window state, packet ids) is itself a
+//     deterministic function of the run seed — so runs with adaptive
+//     adversaries stay bit-identical across --jobs values.
+//   * Legal observation only: decisions depend on packets that physically
+//     traversed the node, public protocol parameters (Environment), the
+//     node-local clock, and ambient fault windows — never on honest keys,
+//     link RNG streams, or scorer internals.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "adversary/strategy.h"
+
+namespace paai::adversary {
+
+namespace {
+
+bool forward_path_data(const Context& ctx) {
+  return ctx.type == net::PacketType::kData &&
+         ctx.dir == sim::Direction::kToDest;
+}
+
+/// Drops only inside benign fault windows (GE bursts, node outages). With
+/// no cover signal at all it behaves honestly — there is nothing to hide
+/// behind.
+class FaultColluder final : public Strategy {
+ public:
+  FaultColluder(double rate, const Environment& env, Rng rng)
+      : rate_(rate), env_(env), rng_(rng) {}
+
+  Action decide(const Context& ctx) override {
+    if (!forward_path_data(ctx)) return Action::kForward;
+    if (env_.cover == nullptr || !env_.cover->cover_active(ctx.now)) {
+      return Action::kForward;
+    }
+    return rng_.bernoulli(rate_) ? Action::kDrop : Action::kForward;
+  }
+
+ private:
+  double rate_;
+  Environment env_;
+  Rng rng_;
+};
+
+/// Modulates drops so the downstream link's projected loss — the natural
+/// rate composed with this node's own drop tally — tracks margin × ψ_th.
+/// The tally IS the §5 self-estimate of accumulated blame: the scorer's
+/// estimate of θ for the downstream link converges to exactly this
+/// composition, so staying under it here means staying under the
+/// conviction threshold there.
+class ThresholdStealthDropper final : public Strategy {
+ public:
+  ThresholdStealthDropper(double margin, const Environment& env)
+      : target_(margin * env.decision_threshold), rho_(env.natural_loss) {}
+
+  Action decide(const Context& ctx) override {
+    if (!forward_path_data(ctx)) return Action::kForward;
+    ++seen_;
+    // Projected downstream loss if this packet is dropped too:
+    // ρ composed with (drops + 1) / seen malicious dropping.
+    const double projected =
+        rho_ + (1.0 - rho_) * static_cast<double>(drops_ + 1) /
+                   static_cast<double>(seen_);
+    if (projected <= target_) {
+      ++drops_;
+      return Action::kDrop;
+    }
+    return Action::kForward;
+  }
+
+ private:
+  double target_;
+  double rho_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+/// Backs off after being sampled: a probe whose referenced H(m) matches a
+/// recently-seen data packet means the source is currently auditing this
+/// segment of the stream, so all dropping pauses for a cooldown.
+class ProbeShyDropper final : public Strategy {
+ public:
+  ProbeShyDropper(double rate, double cooldown_seconds, Rng rng)
+      : rate_(rate),
+        cooldown_(sim::seconds(cooldown_seconds)),
+        rng_(rng) {
+    recent_.fill(net::PacketId{});
+  }
+
+  bool wants_packet_ids() const override { return true; }
+
+  Action decide(const Context& ctx) override {
+    if (ctx.type == net::PacketType::kProbe &&
+        ctx.probe_data_id != nullptr && seen_recently(*ctx.probe_data_id)) {
+      cooldown_until_ = ctx.now + cooldown_;
+      return Action::kForward;
+    }
+    if (!forward_path_data(ctx)) return Action::kForward;
+    if (ctx.packet_id != nullptr) remember(*ctx.packet_id);
+    if (ctx.now < cooldown_until_) return Action::kForward;
+    return rng_.bernoulli(rate_) ? Action::kDrop : Action::kForward;
+  }
+
+ private:
+  static constexpr std::size_t kWindow = 128;
+
+  void remember(const net::PacketId& id) {
+    recent_[head_] = id;
+    head_ = (head_ + 1) % kWindow;
+    count_ = std::min(count_ + 1, kWindow);
+  }
+
+  bool seen_recently(const net::PacketId& id) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (recent_[i] == id) return true;
+    }
+    return false;
+  }
+
+  double rate_;
+  sim::SimDuration cooldown_;
+  Rng rng_;
+  std::array<net::PacketId, kWindow> recent_{};
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  sim::SimTime cooldown_until_ = 0;
+};
+
+/// Periodic duty cycle: on_seconds of dropping, off_seconds of honesty,
+/// random initial phase (the jellyfish attack's low-duty shape).
+class OnOffDropper final : public Strategy {
+ public:
+  OnOffDropper(double rate, double on_seconds, double off_seconds, Rng rng)
+      : rate_(rate),
+        on_(on_seconds),
+        period_(on_seconds + off_seconds),
+        phase_(period_ > 0.0 ? rng.uniform(0.0, period_) : 0.0),
+        rng_(rng) {}
+
+  Action decide(const Context& ctx) override {
+    if (!forward_path_data(ctx)) return Action::kForward;
+    const bool on =
+        period_ <= 0.0 ||
+        std::fmod(sim::to_seconds(ctx.now) + phase_, period_) < on_;
+    if (!on) return Action::kForward;
+    return rng_.bernoulli(rate_) ? Action::kDrop : Action::kForward;
+  }
+
+ private:
+  double rate_;
+  double on_;
+  double period_;
+  double phase_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_fault_colluder(double drop_rate,
+                                              const Environment& env,
+                                              Rng rng) {
+  return std::make_unique<FaultColluder>(drop_rate, env, rng);
+}
+
+std::unique_ptr<Strategy> make_threshold_stealth_dropper(
+    double margin, const Environment& env, Rng /*rng*/) {
+  // Deterministic by design (the blame ledger drives every decision); the
+  // Rng is accepted for the uniform factory signature.
+  return std::make_unique<ThresholdStealthDropper>(margin, env);
+}
+
+std::unique_ptr<Strategy> make_probe_shy_dropper(double drop_rate,
+                                                 double cooldown_seconds,
+                                                 const Environment& /*env*/,
+                                                 Rng rng) {
+  return std::make_unique<ProbeShyDropper>(drop_rate, cooldown_seconds, rng);
+}
+
+std::unique_ptr<Strategy> make_on_off_dropper(double drop_rate,
+                                              double on_seconds,
+                                              double off_seconds, Rng rng) {
+  return std::make_unique<OnOffDropper>(drop_rate, on_seconds, off_seconds,
+                                        rng);
+}
+
+}  // namespace paai::adversary

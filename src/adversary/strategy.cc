@@ -8,8 +8,7 @@ class UniformDropper final : public Strategy {
  public:
   UniformDropper(double rate, Rng rng) : rate_(rate), rng_(rng) {}
 
-  Action on_packet(const Context&) override {
-    if (!active()) return Action::kForward;
+  Action decide(const Context&) override {
     return rng_.bernoulli(rate_) ? Action::kDrop : Action::kForward;
   }
 
@@ -23,8 +22,7 @@ class TypeRateDropper final : public Strategy {
   TypeRateDropper(const TypeRates& rates, Rng rng)
       : rates_(rates), rng_(rng) {}
 
-  Action on_packet(const Context& ctx) override {
-    if (!active()) return Action::kForward;
+  Action decide(const Context& ctx) override {
     double rate = 0.0;
     switch (ctx.type) {
       case net::PacketType::kData:
@@ -52,8 +50,7 @@ class AckDropper final : public Strategy {
  public:
   AckDropper(double rate, Rng rng) : rate_(rate), rng_(rng) {}
 
-  Action on_packet(const Context& ctx) override {
-    if (!active()) return Action::kForward;
+  Action decide(const Context& ctx) override {
     const bool is_ack = ctx.type == net::PacketType::kDestAck ||
                         ctx.type == net::PacketType::kReportAck ||
                         ctx.type == net::PacketType::kFlReport;
@@ -70,8 +67,7 @@ class Corrupter final : public Strategy {
  public:
   Corrupter(double rate, Rng rng) : rate_(rate), rng_(rng) {}
 
-  Action on_packet(const Context&) override {
-    if (!active()) return Action::kForward;
+  Action decide(const Context&) override {
     return rng_.bernoulli(rate_) ? Action::kCorrupt : Action::kForward;
   }
 
@@ -85,10 +81,9 @@ class Withholder final : public Strategy {
   Withholder(double rate, bool release_on_probe, Rng rng)
       : rate_(rate), release_on_probe_(release_on_probe), rng_(rng) {}
 
-  Action on_packet(const Context& ctx) override {
-    if (!active()) return Action::kForward;
-    if (ctx.type == net::PacketType::kData && ctx.dir == sim::Direction::kToDest &&
-        rng_.bernoulli(rate_)) {
+  Action decide(const Context& ctx) override {
+    if (ctx.type == net::PacketType::kData &&
+        ctx.dir == sim::Direction::kToDest && rng_.bernoulli(rate_)) {
       return Action::kWithhold;
     }
     return Action::kForward;
@@ -111,8 +106,8 @@ class BurstDropper final : public Strategy {
         period_(period == 0 ? 1 : period),
         phase_(rng.next_below(period == 0 ? 1 : period)) {}
 
-  Action on_packet(const Context& ctx) override {
-    if (!active() || ctx.type != net::PacketType::kData ||
+  Action decide(const Context& ctx) override {
+    if (ctx.type != net::PacketType::kData ||
         ctx.dir != sim::Direction::kToDest) {
       return Action::kForward;
     }
@@ -129,11 +124,13 @@ class BurstDropper final : public Strategy {
 
 class OriginFilterDropper final : public Strategy {
  public:
-  explicit OriginFilterDropper(std::uint8_t min_origin)
+  // The decision is deterministic; the Rng is accepted for the uniform
+  // factory signature and intentionally unused.
+  OriginFilterDropper(std::uint8_t min_origin, Rng /*rng*/)
       : min_origin_(min_origin) {}
 
-  Action on_packet(const Context& ctx) override {
-    if (!active() || ctx.type != net::PacketType::kReportAck) {
+  Action decide(const Context& ctx) override {
+    if (ctx.type != net::PacketType::kReportAck) {
       return Action::kForward;
     }
     const auto ack = net::ReportAck::decode(ctx.wire);
@@ -177,9 +174,9 @@ std::unique_ptr<Strategy> make_burst_dropper(std::uint32_t burst,
   return std::make_unique<BurstDropper>(burst, period, rng);
 }
 
-std::unique_ptr<Strategy> make_origin_filter_dropper(
-    std::uint8_t min_origin) {
-  return std::make_unique<OriginFilterDropper>(min_origin);
+std::unique_ptr<Strategy> make_origin_filter_dropper(std::uint8_t min_origin,
+                                                     Rng rng) {
+  return std::make_unique<OriginFilterDropper>(min_origin, rng);
 }
 
 }  // namespace paai::adversary

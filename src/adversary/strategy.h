@@ -1,11 +1,33 @@
-// Adversary strategies (§3.2 adversary model, §8.1 methodology).
+// Adversary strategies (§3.2 adversary model, §5 threat model, §8.1
+// methodology).
 //
 // The adversary compromises *nodes*; it may drop, alter, or inject packets
 // on its adjacent links, knows all protocol parameters, holds the
 // compromised nodes' keys, and can do traffic analysis. We model each
-// compromised node's behaviour as a Strategy consulted by an
-// AdversarialRelay wrapper (src/protocols/adversarial_relay.h) before any
-// honest processing happens.
+// compromised node's behaviour as a Strategy consulted by the relay
+// interposition point (protocols::RelayBase::relay) before any honest
+// processing happens.
+//
+// Observation channel (§3.2/§5 — what a compromised node may legally see):
+//   * every packet traversing the node: type, direction, full header bytes,
+//     and — when the strategy asks for them via wants_packet_ids() — the
+//     packet identifier H(m) of data packets and the H(m) a probe
+//     references. This is exactly the traffic analysis §5 grants.
+//   * the node-local clock at arrival (Context::now).
+//   * protocol parameters (Environment): the conviction threshold ψ_th and
+//     the natural loss ρ — §5: "the adversary knows all protocol
+//     parameters".
+//   * ambient benign turbulence (Environment::cover): whether a scripted
+//     fault window — a Gilbert–Elliott burst or a node outage from the
+//     active faults::FaultPlan — is open right now. An on-path adversary
+//     observes loss bursts and dead neighbours directly; modelling that
+//     observation as a queryable signal is what lets a strategy *collude*
+//     with benign faults.
+//   * its own history: a stateful Strategy tracks what it saw and dropped
+//     (e.g. a self-estimate of the blame its downstream link accumulates).
+// Strategies must NOT observe honest nodes' keys, per-link RNG streams, or
+// scorer state — nothing beyond the packets that physically reach them
+// plus public parameters and ambient signals.
 //
 // Actions:
 //   kForward  — behave honestly for this packet.
@@ -24,6 +46,7 @@
 
 #include "net/packet.h"
 #include "sim/node.h"
+#include "sim/time.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 
@@ -31,19 +54,59 @@ namespace paai::adversary {
 
 enum class Action : std::uint8_t { kForward, kDrop, kCorrupt, kWithhold };
 
+/// Per-packet observation handed to Strategy::on_packet. All fields are
+/// things the compromised node can see on its own wire.
 struct Context {
   net::PacketType type = net::PacketType::kData;
   sim::Direction dir = sim::Direction::kToDest;
   std::size_t node_index = 0;
   ByteView wire;  // full header bytes, should the strategy want to parse
+
+  /// Node-local arrival time (the compromised node's clock).
+  sim::SimTime now = 0;
+
+  /// H(m) of a data packet, computed by the relay only when the strategy
+  /// declares wants_packet_ids() — hashing every packet for an oblivious
+  /// dropper would be wasted work. nullptr otherwise.
+  const net::PacketId* packet_id = nullptr;
+
+  /// For probes: the H(m) the probe references (the packet being sampled).
+  /// nullptr for non-probe packets or undecodable probes.
+  const net::PacketId* probe_data_id = nullptr;
+};
+
+/// Ambient benign-turbulence signal (implemented by the runner over the
+/// live faults::FaultInjector). cover_active() answers "is there a benign
+/// loss window open right now that my drops could hide in?".
+class FaultObservation {
+ public:
+  virtual ~FaultObservation() = default;
+
+  /// True iff a Gilbert–Elliott process currently sits in its Bad state or
+  /// a scheduled node-outage window contains `now`.
+  virtual bool cover_active(sim::SimTime now) const = 0;
+};
+
+/// Protocol-parameter knowledge shared by all strategies on a run (§5:
+/// the adversary knows all protocol parameters). `cover` may be null when
+/// no fault plan is active; adaptive strategies must degrade gracefully.
+struct Environment {
+  double decision_threshold = 0.02;  // ψ_th the source convicts at
+  double natural_loss = 0.01;        // ρ, per-link natural loss
+  const FaultObservation* cover = nullptr;
 };
 
 class Strategy {
  public:
   virtual ~Strategy() = default;
 
-  /// Decides the fate of a packet traversing the compromised node.
-  virtual Action on_packet(const Context& ctx) = 0;
+  /// Decides the fate of a packet traversing the compromised node. The
+  /// active() check lives here — uniformly for every strategy — so
+  /// set_active(false) (the runner's "bypass" switch) always means
+  /// "forward everything", including for stateful strategies.
+  Action on_packet(const Context& ctx) {
+    return active_ ? decide(ctx) : Action::kForward;
+  }
 
   /// For a strategy that returned kWithhold earlier: a probe referencing
   /// the withheld data packet has just arrived. Return kForward to release
@@ -60,15 +123,29 @@ class Strategy {
   /// strategies behave this way.
   virtual bool pretend_honest_in_acks() const { return true; }
 
+  /// True iff the strategy wants Context::packet_id / probe_data_id
+  /// populated (costs one hash per data packet at the relay).
+  virtual bool wants_packet_ids() const { return false; }
+
   /// The runner flips this to simulate the source bypassing an identified
   /// adversary ("w/ AAI" curves of Fig. 3): an inactive strategy forwards
   /// everything.
   void set_active(bool active) { active_ = active; }
   bool active() const { return active_; }
 
+ protected:
+  /// Strategy-specific decision; called only while active.
+  virtual Action decide(const Context& ctx) = 0;
+
  private:
   bool active_ = true;
 };
+
+// ---------------------------------------------------------------------------
+// Oblivious strategies (fixed behaviour, no reaction to network state).
+// Factory signatures are uniform: parameters, then the strategy's private
+// Rng stream (taken even where the decision is deterministic, so specs
+// stay seedable and call sites never special-case).
 
 /// Drops every packet type at the same rate — the optimal strategy per
 /// Corollary 1 and the one used in the paper's simulations.
@@ -112,6 +189,48 @@ std::unique_ptr<Strategy> make_burst_dropper(std::uint32_t burst,
 /// point. Effective against the independent-ack ablation of PAAI-1 and
 /// harmless against onion reports (whose outermost layer index reveals
 /// nothing about the origin) — demonstrated in bench_ablation.
-std::unique_ptr<Strategy> make_origin_filter_dropper(std::uint8_t min_origin);
+std::unique_ptr<Strategy> make_origin_filter_dropper(std::uint8_t min_origin,
+                                                     Rng rng);
+
+// ---------------------------------------------------------------------------
+// Adaptive strategies (stateful; react to the observation channel). See
+// docs/ADVERSARIES.md for the catalog and the stealth-frontier bench.
+
+/// Fault-colluder: drops data packets (at `drop_rate`, per packet) ONLY
+/// while env.cover reports an open benign fault window — a GE burst or a
+/// node outage. Outside cover, or when no fault plan is active, it is a
+/// perfectly honest relay. The blame its drops create must still land on
+/// its own downstream link, not on the bursty honest link it hides behind.
+std::unique_ptr<Strategy> make_fault_colluder(double drop_rate,
+                                              const Environment& env,
+                                              Rng rng);
+
+/// Threshold-stealth dropper: modulates its data-drop decisions so the
+/// downstream link's projected loss rate — ρ composed with its own drop
+/// tally, the same self-estimate of accumulated blame the scorer will
+/// converge to — stays at `margin` × ψ_th. margin < 1 rides under the
+/// threshold (maximum damage while staying unconvicted); margin > 1
+/// deliberately overshoots (for calibrating the frontier bench).
+std::unique_ptr<Strategy> make_threshold_stealth_dropper(
+    double margin, const Environment& env, Rng rng);
+
+/// Probe-aware backoff dropper (§5 traffic analysis made concrete): drops
+/// data at `drop_rate`, but when it observes a probe referencing a data
+/// packet it recently saw — i.e. the source is sampling its segment of the
+/// stream — it pauses all dropping for `cooldown_seconds`. Requires packet
+/// ids from the relay (wants_packet_ids() = true).
+std::unique_ptr<Strategy> make_probe_shy_dropper(double drop_rate,
+                                                 double cooldown_seconds,
+                                                 const Environment& env,
+                                                 Rng rng);
+
+/// On-off (jellyfish-style) dropper: a periodic duty cycle of
+/// `on_seconds` dropping (data at `drop_rate`) followed by `off_seconds`
+/// honest forwarding, with a random initial phase. The classic low-duty
+/// attack on end-to-end loss estimators: time-averaged damage with
+/// bursty, hard-to-sample structure.
+std::unique_ptr<Strategy> make_on_off_dropper(double drop_rate,
+                                              double on_seconds,
+                                              double off_seconds, Rng rng);
 
 }  // namespace paai::adversary

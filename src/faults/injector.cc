@@ -103,6 +103,27 @@ FaultInjector::FaultInjector(sim::Simulator& sim, sim::PathNetwork& net,
   }
 }
 
+bool FaultInjector::burst_active() const {
+  for (const auto& process : processes_) {
+    if (process->in_bad_state()) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::outage_active(sim::SimTime now) const {
+  for (const auto& o : plan_.outages) {
+    const sim::SimTime start = sim::seconds(o.at_seconds);
+    const sim::SimTime end =
+        sim::seconds(o.at_seconds + o.duration_seconds);
+    if (now >= start && now < end) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::cover_active(sim::SimTime now) const {
+  return burst_active() || outage_active(now);
+}
+
 void FaultInjector::finish() {
   std::uint64_t blackholed = 0;
   for (std::size_t i = 0; i <= net_.length(); ++i) {

@@ -54,6 +54,22 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  // Window-state queries — the observable side of the plan. These back the
+  // adversary observation channel (adversary::FaultObservation): an
+  // on-path adversary sees loss bursts and dead neighbours directly, so
+  // exposing them as queryable state is modelling, not a leak. All three
+  // are O(#processes + #outages) and read-only.
+
+  /// True iff any Gilbert–Elliott process currently sits in its Bad state.
+  bool burst_active() const;
+
+  /// True iff `now` falls inside any scheduled node-outage window.
+  bool outage_active(sim::SimTime now) const;
+
+  /// burst_active() || outage_active(now): "is there benign loss cover
+  /// open right now?".
+  bool cover_active(sim::SimTime now) const;
+
  private:
   sim::Simulator& sim_;
   sim::PathNetwork& net_;

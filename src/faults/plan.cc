@@ -1,109 +1,49 @@
 #include "faults/plan.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cmath>
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "util/specgrammar.h"
 
 namespace paai::faults {
 
 namespace {
 
+const std::string kPrefix = "FaultPlan";
+
 [[noreturn]] void bad(const std::string& message) {
-  throw std::invalid_argument("FaultPlan: " + message);
-}
-
-double parse_double(std::string_view text, const std::string& what) {
-  double value = 0.0;
-  const auto* end = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
-  if (ec != std::errc{} || ptr != end || !std::isfinite(value)) {
-    bad("bad number for " + what + ": '" + std::string(text) + "'");
-  }
-  return value;
-}
-
-std::size_t parse_index(std::string_view text, const std::string& what) {
-  std::size_t value = 0;
-  const auto* end = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
-  if (ec != std::errc{} || ptr != end) {
-    bad("bad index for " + what + ": '" + std::string(text) + "'");
-  }
-  return value;
+  util::spec_error(kPrefix, message);
 }
 
 void check_probability(double value, const std::string& what) {
-  if (!(value >= 0.0 && value <= 1.0)) {
-    bad(what + " must be within [0, 1], got " + std::to_string(value));
-  }
+  util::spec_check_probability(value, what, kPrefix);
 }
 
 void check_nonnegative(double value, const std::string& what) {
-  if (!(value >= 0.0)) {
-    bad(what + " must be >= 0, got " + std::to_string(value));
-  }
+  util::spec_check_nonnegative(value, what, kPrefix);
 }
 
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
-                        s.front() == '\n' || s.front() == '\r')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
-                        s.back() == '\n' || s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-/// One clause, kind-agnostic: index plus key=value pairs.
-struct Clause {
-  std::string kind;
-  std::size_t index = 0;
-  std::vector<std::pair<std::string, double>> kv;
-
-  std::optional<double> get(std::string_view key) const {
-    for (const auto& [k, v] : kv) {
-      if (k == key) return v;
-    }
-    return std::nullopt;
-  }
-
-  double require(std::string_view key) const {
-    const auto v = get(key);
-    if (!v) bad(kind + " clause needs " + std::string(key) + "=");
-    return *v;
-  }
-
-  void check_keys(std::initializer_list<std::string_view> allowed) const {
-    for (const auto& [k, v] : kv) {
-      (void)v;
-      if (std::find(allowed.begin(), allowed.end(), k) == allowed.end()) {
-        bad("unknown key '" + k + "' in " + kind + " clause");
-      }
-    }
-  }
-};
-
-void apply_clause(FaultPlan& plan, const Clause& c) {
+void apply_clause(FaultPlan& plan, const util::SpecClause& c) {
+  const auto require = [&c](std::string_view key) {
+    return c.require(key, kPrefix);
+  };
   if (c.kind == "ge") {
-    c.check_keys({"pg", "pb", "g2b", "b2g"});
+    c.check_keys({"pg", "pb", "g2b", "b2g"}, kPrefix);
     GilbertElliottFault f;
     f.link = c.index;
     f.params.loss_good = c.get("pg").value_or(0.0);
-    f.params.loss_bad = c.require("pb");
-    f.params.good_to_bad = c.require("g2b");
-    f.params.bad_to_good = c.require("b2g");
+    f.params.loss_bad = require("pb");
+    f.params.good_to_bad = require("g2b");
+    f.params.bad_to_good = require("b2g");
     check_probability(f.params.loss_good, "ge pg");
     check_probability(f.params.loss_bad, "ge pb");
     check_probability(f.params.good_to_bad, "ge g2b");
     check_probability(f.params.bad_to_good, "ge b2g");
     plan.gilbert.push_back(f);
   } else if (c.kind == "set") {
-    c.check_keys({"t", "loss", "lat", "jitter"});
+    c.check_keys({"t", "loss", "lat", "jitter"}, kPrefix);
     LinkRetune r;
     r.link = c.index;
     r.at_seconds = c.get("t").value_or(0.0);
@@ -119,11 +59,11 @@ void apply_clause(FaultPlan& plan, const Clause& c) {
     if (r.jitter_ms) check_nonnegative(*r.jitter_ms, "set jitter");
     plan.retunes.push_back(r);
   } else if (c.kind == "outage") {
-    c.check_keys({"t", "dur"});
+    c.check_keys({"t", "dur"}, kPrefix);
     NodeOutage o;
     o.node = c.index;
-    o.at_seconds = c.require("t");
-    o.duration_seconds = c.require("dur");
+    o.at_seconds = require("t");
+    o.duration_seconds = require("dur");
     check_nonnegative(o.at_seconds, "outage t");
     if (!(o.duration_seconds > 0.0)) {
       bad("outage dur must be > 0, got " +
@@ -131,68 +71,25 @@ void apply_clause(FaultPlan& plan, const Clause& c) {
     }
     plan.outages.push_back(o);
   } else if (c.kind == "reorder") {
-    c.check_keys({"p", "delay"});
+    c.check_keys({"p", "delay"}, kPrefix);
     ReorderFault r;
     r.link = c.index;
-    r.probability = c.require("p");
-    r.extra_delay_ms = c.require("delay");
+    r.probability = require("p");
+    r.extra_delay_ms = require("delay");
     check_probability(r.probability, "reorder p");
     check_nonnegative(r.extra_delay_ms, "reorder delay");
     plan.reorders.push_back(r);
   } else if (c.kind == "dup") {
-    c.check_keys({"p"});
+    c.check_keys({"p"}, kPrefix);
     DuplicateFault d;
     d.link = c.index;
-    d.probability = c.require("p");
+    d.probability = require("p");
     check_probability(d.probability, "dup p");
     plan.duplicates.push_back(d);
   } else {
     bad("unknown clause kind '" + c.kind +
         "' (expected ge, set, outage, reorder, or dup)");
   }
-}
-
-FaultPlan parse_compact(std::string_view spec) {
-  FaultPlan plan;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
-    const std::string_view raw = trim(spec.substr(pos, semi - pos));
-    pos = semi + 1;
-    if (raw.empty()) continue;
-
-    Clause c;
-    const std::size_t at = raw.find('@');
-    const std::size_t colon = raw.find(':');
-    if (at == std::string_view::npos || colon == std::string_view::npos ||
-        colon < at) {
-      bad("clause '" + std::string(raw) +
-          "' does not match kind@index:key=value[,key=value...]");
-    }
-    c.kind = std::string(trim(raw.substr(0, at)));
-    c.index = parse_index(trim(raw.substr(at + 1, colon - at - 1)),
-                          c.kind + " index");
-    std::string_view rest = raw.substr(colon + 1);
-    std::size_t kpos = 0;
-    while (kpos <= rest.size()) {
-      const std::size_t comma = std::min(rest.find(',', kpos), rest.size());
-      const std::string_view kv = trim(rest.substr(kpos, comma - kpos));
-      kpos = comma + 1;
-      if (kv.empty()) continue;
-      const std::size_t eq = kv.find('=');
-      if (eq == std::string_view::npos) {
-        bad("expected key=value, got '" + std::string(kv) + "' in " +
-            c.kind + " clause");
-      }
-      const std::string key(trim(kv.substr(0, eq)));
-      c.kv.emplace_back(key,
-                        parse_double(trim(kv.substr(eq + 1)),
-                                     c.kind + " " + key));
-    }
-    if (c.kv.empty()) bad(c.kind + " clause has no key=value pairs");
-    apply_clause(plan, c);
-  }
-  return plan;
 }
 
 FaultPlan parse_json(std::string_view spec) {
@@ -212,7 +109,7 @@ FaultPlan parse_json(std::string_view spec) {
   FaultPlan plan;
   for (const auto& entry : clauses->array) {
     if (!entry.is_object()) bad("JSON clause must be an object");
-    Clause c;
+    util::SpecClause c;
     bool have_index = false;
     for (const auto& [key, value] : entry.object) {
       if (key == "kind") {
@@ -238,22 +135,21 @@ FaultPlan parse_json(std::string_view spec) {
   return plan;
 }
 
-std::string fmt(double value) {
-  char buffer[32];
-  const auto [ptr, ec] =
-      std::to_chars(buffer, buffer + sizeof(buffer), value);
-  return ec == std::errc{} ? std::string(buffer, ptr) : "0";
-}
+std::string fmt(double value) { return util::fmt_double(value); }
 
 }  // namespace
 
 FaultPlan FaultPlan::parse(std::string_view spec) {
-  const std::string_view trimmed = trim(spec);
+  const std::string_view trimmed = util::spec_trim(spec);
   if (trimmed.empty()) return FaultPlan{};
   if (trimmed.front() == '[' || trimmed.front() == '{') {
     return parse_json(trimmed);
   }
-  return parse_compact(trimmed);
+  FaultPlan plan;
+  for (const auto& clause : util::parse_compact_clauses(trimmed, kPrefix)) {
+    apply_clause(plan, clause);
+  }
+  return plan;
 }
 
 double FaultPlan::max_latency_ms() const {

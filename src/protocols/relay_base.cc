@@ -14,12 +14,29 @@ bool RelayBase::relay(const sim::PacketEnv& env) {
   actx.dir = env.dir;
   actx.node_index = node().index();
   actx.wire = env.view();
+  actx.now = node().local_now();
+
+  // Packet identifiers are computed only for strategies that ask (one
+  // hash per data packet is wasted work for an oblivious dropper).
+  net::PacketId data_id{};
+  const bool want_ids = strategy_->wants_packet_ids();
+  if (want_ids && actx.type == net::PacketType::kData) {
+    if (const auto data = net::DataPacket::decode(env.view())) {
+      data_id = data->id(ctx_.crypto());
+      actx.packet_id = &data_id;
+    }
+  }
 
   // A probe may reference a packet this node withheld earlier; give the
   // strategy its release/drop decision before the probe itself is handled.
+  net::PacketId probe_id{};
   if (type == net::PacketType::kProbe) {
     if (const auto probe = net::Probe::decode(env.view())) {
       handle_withheld_release(env, probe->data_id);
+      if (want_ids) {
+        probe_id = probe->data_id;
+        actx.probe_data_id = &probe_id;
+      }
     }
   }
 

@@ -15,29 +15,21 @@ namespace paai::runner {
 
 namespace {
 
-std::unique_ptr<adversary::Strategy> make_strategy(const AdversarySpec& spec,
-                                                   Rng rng) {
-  switch (spec.kind) {
-    case AdversarySpec::Kind::kUniform:
-      return adversary::make_uniform_dropper(spec.rate, rng);
-    case AdversarySpec::Kind::kTypeRates:
-      return adversary::make_type_rate_dropper(spec.type_rates, rng);
-    case AdversarySpec::Kind::kAckOnly:
-      return adversary::make_ack_dropper(spec.rate, rng);
-    case AdversarySpec::Kind::kCorrupt:
-      return adversary::make_corrupter(spec.rate, rng);
-    case AdversarySpec::Kind::kWithholdDrop:
-      return adversary::make_withholder(spec.rate, /*release=*/false, rng);
-    case AdversarySpec::Kind::kWithholdRelease:
-      return adversary::make_withholder(spec.rate, /*release=*/true, rng);
-    case AdversarySpec::Kind::kOriginFilter:
-      return adversary::make_origin_filter_dropper(spec.min_origin);
-    case AdversarySpec::Kind::kBurst:
-      return adversary::make_burst_dropper(spec.burst, spec.burst_period,
-                                           rng);
+/// Bridges the live FaultInjector to the adversary observation channel.
+/// The runner is the only layer that sees both sides, which keeps
+/// paai_adversary free of any dependency on paai_faults.
+class InjectorCover final : public adversary::FaultObservation {
+ public:
+  explicit InjectorCover(const faults::FaultInjector* injector)
+      : injector_(injector) {}
+
+  bool cover_active(sim::SimTime now) const override {
+    return injector_ != nullptr && injector_->cover_active(now);
   }
-  return adversary::make_uniform_dropper(spec.rate, rng);
-}
+
+ private:
+  const faults::FaultInjector* injector_;
+};
 
 }  // namespace
 
@@ -71,17 +63,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                               net.length());
   const protocols::ProtocolContext ctx(*provider, keys, net, config.params);
 
-  // Build strategies; index them by node.
-  Rng adv_rng(config.path.seed ^ 0xadull << 48);
-  std::vector<std::unique_ptr<adversary::Strategy>> owned;
-  std::vector<adversary::Strategy*> by_node(net.length() + 1, nullptr);
-  for (const auto& spec : config.adversaries) {
-    owned.push_back(make_strategy(spec, adv_rng.fork(owned.size() + 1)));
-    if (spec.node >= 1 && spec.node < net.length()) {
-      by_node[spec.node] = owned.back().get();
-    }
-  }
-
   // Link-level faults: compose the malicious rate with the natural loss.
   for (const auto& fault : config.link_faults) {
     if (fault.link < net.length()) {
@@ -91,11 +72,35 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
-  // Scripted benign faults come last so a Gilbert-Elliott clause replaces
-  // whatever loss rate (natural or composed) its link currently has.
+  // Scripted benign faults come after link_faults so a Gilbert-Elliott
+  // clause replaces whatever loss rate (natural or composed) its link
+  // currently has — and before the strategies, whose observation channel
+  // may watch the injector's fault windows. (Neither strategy
+  // construction nor the loss-rate pokes above schedule simulator events,
+  // so this ordering leaves the event sequence — and thus every run
+  // without adaptive adversaries — bit-identical.)
   std::optional<faults::FaultInjector> injector;
   if (!config.faults.empty()) {
     injector.emplace(simulator, net, config.faults);
+  }
+  const InjectorCover cover(injector ? &*injector : nullptr);
+
+  // Build strategies; index them by node. Every strategy gets its own
+  // forked Rng stream plus the public protocol parameters (§5: the
+  // adversary knows them all) and the ambient fault-cover signal.
+  adversary::Environment env;
+  env.decision_threshold = config.decision_threshold;
+  env.natural_loss = config.path.natural_loss;
+  env.cover = injector ? &cover : nullptr;
+  Rng adv_rng(config.path.seed ^ 0xadull << 48);
+  std::vector<std::unique_ptr<adversary::Strategy>> owned;
+  std::vector<adversary::Strategy*> by_node(net.length() + 1, nullptr);
+  for (const auto& spec : config.adversaries) {
+    owned.push_back(
+        adversary::make_strategy(spec, env, adv_rng.fork(owned.size() + 1)));
+    if (spec.node >= 1 && spec.node < net.length()) {
+      by_node[spec.node] = owned.back().get();
+    }
   }
 
   protocols::SourceHandle* source =
@@ -193,9 +198,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                             net.counters().data_drops(last)) /
         static_cast<double>(result.packets_sent);
   }
+  // Ground-truth per-link loss with the paper's attribution: a packet that
+  // reaches F_i but never leaves it (relay-strategy drop, withhold, crash
+  // blackhole) is charged to F_i's *downstream* link l_i — §8.1 tactic
+  // (b), "the malicious drops will directly increase l_4's drop count".
+  // Link-level counters alone cannot see relay drops (the packet is never
+  // transmitted), so the rate is computed from the arrival/departure
+  // balance of each hop instead. Duplication can push departures above
+  // arrivals; the rate clamps at 0.
   result.true_link_loss.reserve(net.length());
   for (std::size_t i = 0; i < net.length(); ++i) {
-    result.true_link_loss.push_back(net.counters().true_link_loss(i));
+    const std::uint64_t arrived =
+        i == 0 ? result.packets_sent
+                : net.counters().data_tx(i - 1) -
+                      net.counters().data_drops(i - 1);
+    const std::uint64_t departed =
+        net.counters().data_tx(i) - net.counters().data_drops(i);
+    result.true_link_loss.push_back(
+        arrived > 0 && arrived > departed
+            ? static_cast<double>(arrived - departed) /
+                  static_cast<double>(arrived)
+            : 0.0);
   }
   result.events_processed = simulator.events_processed();
 

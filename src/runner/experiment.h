@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "adversary/spec.h"
 #include "adversary/strategy.h"
 #include "crypto/provider.h"
 #include "faults/plan.h"
@@ -40,26 +41,10 @@
 
 namespace paai::runner {
 
-struct AdversarySpec {
-  enum class Kind {
-    kUniform,          // drop everything at `rate` (Corollary 1 optimum)
-    kTypeRates,        // per-packet-type rates
-    kAckOnly,          // drop only reverse-path reports/acks
-    kCorrupt,          // alter packets at `rate`
-    kWithholdDrop,     // withhold data; drop unless probed
-    kWithholdRelease,  // withhold data; release (stale) when probed
-    kOriginFilter,     // drop report acks from origins >= min_origin
-    kBurst,            // drop `burst` of every `period` data packets
-  };
-
-  std::size_t node = 4;  // compromised node index (1..d-1)
-  Kind kind = Kind::kUniform;
-  double rate = 0.02;
-  adversary::TypeRates type_rates{};
-  std::uint8_t min_origin = 3;          // kOriginFilter only
-  std::uint32_t burst = 30;             // kBurst only
-  std::uint32_t burst_period = 100;     // kBurst only
-};
+/// One compromised node's behaviour. The full definition (kinds, the
+/// --adversary grammar, make_strategy) lives in adversary/spec.h; the
+/// runner consumes it verbatim.
+using AdversarySpec = adversary::Spec;
 
 /// A link-level malicious drop rate, composed with the natural loss. This
 /// is the paper's formal model (Theorems 1-2 speak of per-*link* drop

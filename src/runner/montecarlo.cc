@@ -75,6 +75,7 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
 
   const std::size_t d = config.base.path.length;
   result.final_thetas.resize(d);
+  result.true_link_loss.resize(d);
   if (config.storage_bins > 0) {
     for (std::size_t i = 0; i <= d; ++i) {
       result.storage_grids.emplace_back(config.storage_horizon_seconds,
@@ -126,6 +127,9 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
     result.overhead_packets_ratio.add(run.overhead_packets_ratio);
     for (std::size_t i = 0; i < d && i < run.final_thetas.size(); ++i) {
       result.final_thetas[i].add(run.final_thetas[i]);
+    }
+    for (std::size_t i = 0; i < d && i < run.true_link_loss.size(); ++i) {
+      result.true_link_loss[i].add(run.true_link_loss[i]);
     }
     if (!result.storage_grids.empty()) {
       for (std::size_t i = 0; i <= d && i < run.storage.size(); ++i) {

@@ -88,6 +88,12 @@ struct MonteCarloResult {
   RunningStat overhead_packets_ratio;
   std::vector<RunningStat> final_thetas;  // per link
 
+  /// Ground-truth per-link data loss rate over runs. Together with
+  /// final_thetas this measures what an adaptive adversary *achieved*
+  /// (real damage on its downstream link) vs what the scorer *saw* — the
+  /// two axes of the stealth frontier (bench_robustness).
+  std::vector<RunningStat> true_link_loss;  // per link
+
   /// storage_grids[i]: node F_i's aggregated storage series (empty when
   /// storage aggregation is off).
   std::vector<SeriesGrid> storage_grids;

@@ -13,6 +13,10 @@
 //
 // Options:
 //   --threshold=PCT   relative-change tolerance in percent (default 10)
+//   --ignore=BENCH    drop the named bench from both sides before
+//                     comparing (repeatable); for benches whose metrics
+//                     measure the machine rather than the protocols,
+//                     e.g. bench_micro wall-clock timings
 //   --csv             machine-readable drift listing
 //   --self-test       run the built-in pass/fail fixtures and exit
 //
@@ -82,6 +86,18 @@ std::optional<MetricMap> flatten(const JsonValue& doc, std::string* error) {
     return std::nullopt;
   }
   return out;
+}
+
+/// Drops every metric belonging to an ignored bench (flattened keys are
+/// "bench/metric", so an ignore matches the prefix up to the first '/').
+void drop_ignored(MetricMap& m, const std::vector<std::string>& ignores) {
+  std::erase_if(m, [&ignores](const std::pair<std::string, double>& kv) {
+    const std::string bench = kv.first.substr(0, kv.first.find('/'));
+    for (const auto& ignore : ignores) {
+      if (bench == ignore) return true;
+    }
+    return false;
+  });
 }
 
 const double* find_metric(const MetricMap& m, const std::string& key) {
@@ -175,14 +191,20 @@ int self_test() {
     std::fprintf(stderr, "self-test: 50%% move not flagged\n");
     return 2;
   }
+  MetricMap ignored = *fb;
+  drop_ignored(ignored, {"t"});
+  if (!ignored.empty() || diff(*fa, ignored, 0.10, scratch).compared != 0) {
+    std::fprintf(stderr, "self-test: --ignore did not drop the bench\n");
+    return 2;
+  }
   std::printf("bench_diff self-test: ok\n");
   return 0;
 }
 
 void usage() {
   std::fprintf(stderr,
-               "usage: bench_diff [--threshold=PCT] [--csv] BASELINE.json "
-               "CANDIDATE.json\n"
+               "usage: bench_diff [--threshold=PCT] [--ignore=BENCH]... "
+               "[--csv] BASELINE.json CANDIDATE.json\n"
                "       bench_diff --self-test\n");
 }
 
@@ -193,6 +215,7 @@ int main(int argc, char** argv) {
 
   double threshold = 0.10;
   std::vector<std::string> files;
+  std::vector<std::string> ignores;
   bool csv = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -208,6 +231,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --threshold must be >= 0\n");
         return 2;
       }
+    } else if (arg.rfind("--ignore=", 0) == 0) {
+      if (arg.size() == 9) {
+        std::fprintf(stderr, "error: --ignore needs a bench name\n");
+        return 2;
+      }
+      ignores.push_back(arg.substr(9));
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -224,16 +253,18 @@ int main(int argc, char** argv) {
   }
 
   std::string error;
-  const auto base = load(files[0], &error);
+  auto base = load(files[0], &error);
   if (!base) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
-  const auto cand = load(files[1], &error);
+  auto cand = load(files[1], &error);
   if (!cand) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  drop_ignored(*base, ignores);
+  drop_ignored(*cand, ignores);
 
   paai::Table table({"metric", "baseline", "candidate", "change"});
   const DiffStats stats = diff(*base, *cand, threshold, table);

@@ -27,6 +27,14 @@
 #      name the planted link, and the emitted paai.bench.v1 report must
 #      diff cleanly against itself.
 #
+#   5. colluder forensics smoke — a full-ack run against the adaptive
+#      fault colluder (collude@4:rate=1 hiding inside the calibrated
+#      Gilbert-Elliott burst plan on honest l_2); `paai explain` must
+#      convict the true adversarial link l_4 and must NOT name the bursty
+#      honest l_2. Full-ack is the leg's protocol because its per-hop acks
+#      localise in-window drops; PAAI-1's blame-to-first-failing-hop
+#      heuristic measurably under-attributes here (bench_robustness C).
+#
 # Usage: tools/check.sh [tsan-build-dir [asan-build-dir]]
 #        (defaults: build-tsan build-asan)
 set -euo pipefail
@@ -64,6 +72,11 @@ echo "== leg 3: bench_diff =="
 "$ASAN_DIR/tools/bench_diff" --self-test
 # A snapshot diffed against itself must be drift-free.
 "$ASAN_DIR/tools/bench_diff" BENCH_pr3.json BENCH_pr3.json
+# Cross-snapshot regression gate: the protocol metrics shared by the pr3
+# and pr6 snapshots must agree; bench_micro is ignored because its
+# wall-clock timings measure the machine the snapshot ran on.
+"$ASAN_DIR/tools/bench_diff" --ignore=bench_micro \
+    BENCH_pr3.json BENCH_pr6.json
 
 echo "== leg 4: forensics smoke (paai run --events-out -> paai explain) =="
 cmake --build "$ASAN_DIR" --target paai -j "$(nproc)"
@@ -88,4 +101,23 @@ grep -q "CONVICTED" "$SMOKE_DIR/run.stdout" || {
 # The emitted paai.bench.v1 report must be valid (self-diff is clean).
 "$ASAN_DIR/tools/bench_diff" "$SMOKE_DIR/run.json" "$SMOKE_DIR/run.json"
 
-echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean"
+echo "== leg 5: colluder forensics smoke (fault-colluding adversary) =="
+"$ASAN_DIR/tools/paai" run --protocol=fullack --packets=20000 --seed=1 \
+    --adversary='collude@4:rate=1' \
+    --faults='ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15' \
+    --events-out="$SMOKE_DIR/collude.jsonl" --events-cap=65536 \
+    > "$SMOKE_DIR/collude.stdout"
+"$ASAN_DIR/tools/paai" explain "$SMOKE_DIR/collude.jsonl" \
+    > "$SMOKE_DIR/collude_explain.stdout"
+grep -q "CONVICTED l_4" "$SMOKE_DIR/collude_explain.stdout" || {
+  echo "leg 5 FAILED: colluder's true link l_4 not convicted:" >&2
+  cat "$SMOKE_DIR/collude_explain.stdout" >&2
+  exit 1
+}
+if grep -q "CONVICTED l_2" "$SMOKE_DIR/collude_explain.stdout"; then
+  echo "leg 5 FAILED: bursty honest l_2 falsely convicted:" >&2
+  cat "$SMOKE_DIR/collude_explain.stdout" >&2
+  exit 1
+fi
+
+echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean"

@@ -17,8 +17,14 @@
 //   --threshold=X     conviction threshold                  (default rho+0.008)
 //   --seed=N          RNG seed                              (default 1)
 //   --fault=LINK:RATE      link-level malicious extra loss (repeatable)
-//   --adversary=NODE:KIND:RATE  node strategy; KIND in uniform | data |
-//                     ack | corrupt | withhold | withhold-drop (repeatable)
+//   --adversary=SPEC  node strategy (repeatable). Two forms:
+//                     * declarative plan grammar, compact or JSON — e.g.
+//                       'stealth@4:margin=0.9' or
+//                       'collude@4:rate=0.5;ack@2:rate=0.3' — see
+//                       docs/ADVERSARIES.md for the full catalog
+//                       (adaptive strategies included);
+//                     * legacy NODE:KIND:RATE with KIND in uniform | data |
+//                       ack | corrupt | withhold | withhold-drop
 //   --faults=SPEC     scripted benign faults (bursty loss, link churn,
 //                     node outages); compact grammar or JSON — see
 //                     docs/FAULTS.md
@@ -36,6 +42,9 @@
 // Examples:
 //   paai run --protocol=paai1 --fault=4:0.02
 //   paai run --protocol=fullack --adversary=3:corrupt:0.3 --packets=5000
+//   paai run --protocol=paai1 --adversary='stealth@4:margin=0.9'
+//   paai run --adversary='collude@4:rate=0.5'
+//            --faults='ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15'
 //   paai run --protocol=paai1 --faults='ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15'
 //   paai curve --protocol=paai2 --packets=400000 --runs=20
 #include <cstdio>
@@ -46,9 +55,11 @@
 #include <optional>
 #include <string>
 
+#include "adversary/spec.h"
 #include "analysis/bounds.h"
 #include "bench/bench_common.h"
 #include "faults/plan.h"
+#include "util/specgrammar.h"
 #include "obs/events.h"
 #include "obs/forensics.h"
 #include "runner/montecarlo.h"
@@ -97,7 +108,7 @@ protocols::ProtocolKind parse_protocol(const std::string& name) {
   throw CliError{"unknown protocol '" + name + "'"};
 }
 
-AdversarySpec parse_adversary(const std::string& spec) {
+AdversarySpec parse_legacy_adversary(const std::string& spec) {
   const auto c1 = spec.find(':');
   const auto c2 = spec.find(':', c1 + 1);
   if (c1 == std::string::npos || c2 == std::string::npos) {
@@ -153,7 +164,19 @@ ExperimentConfig config_from_args(int argc, char** argv) {
                                         std::stod(f.substr(colon + 1))});
   }
   for (const auto& a : get_all(argc, argv, "adversary")) {
-    cfg.adversaries.push_back(parse_adversary(a));
+    // The declarative grammar is recognizable on sight: compact clauses
+    // carry '@', JSON starts with '[' or '{'. Anything else is the legacy
+    // NODE:KIND:RATE form.
+    const std::string_view t = util::spec_trim(a);
+    if (!t.empty() &&
+        (t.find('@') != std::string_view::npos || t.front() == '[' ||
+         t.front() == '{')) {
+      const auto plan = adversary::AdversaryPlan::parse(a);
+      cfg.adversaries.insert(cfg.adversaries.end(), plan.specs.begin(),
+                             plan.specs.end());
+    } else {
+      cfg.adversaries.push_back(parse_legacy_adversary(a));
+    }
   }
   if (const auto spec = get_opt(argc, argv, "faults")) {
     cfg.faults = faults::FaultPlan::parse(*spec);
@@ -345,15 +368,16 @@ void usage() {
       "usage: paai <run|curve|bounds> [--protocol=paai1] [--d=6] "
       "[--rho=0.01]\n"
       "            [--packets=N] [--rate=100] [--p=X] [--threshold=X]\n"
-      "            [--fault=LINK:RATE]... [--adversary=NODE:KIND:RATE]...\n"
+      "            [--fault=LINK:RATE]... [--adversary=SPEC]...\n"
       "            [--faults=SPEC] [--runs=N] [--jobs=N] [--seed=N] "
       "[--csv]\n"
       "            [--metrics-out=FILE] [--trace-out=FILE]\n"
       "            [--events-out=FILE] [--events-cap=N]\n"
       "       paai explain FILE    audit trail from an --events-out log\n"
       "see tools/paai_cli.cc header for details and examples; the fault\n"
-      "plan grammar is documented in docs/FAULTS.md, the forensic event\n"
-      "log in docs/OBSERVABILITY.md\n");
+      "plan grammar is documented in docs/FAULTS.md, the adversary plan\n"
+      "grammar (adaptive strategies included) in docs/ADVERSARIES.md, the\n"
+      "forensic event log in docs/OBSERVABILITY.md\n");
 }
 
 }  // namespace
