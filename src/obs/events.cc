@@ -17,6 +17,7 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "probe-send",   "ack-recv",     "ack-timeout",   "onion-decode",
     "score-clean",  "score-blame",  "conviction",    "packet-send",
     "packet-recv",  "packet-fwd",   "node-crash",    "node-restart",
+    "run-config",   "fl-count",
 };
 
 // Exact total order for the merged export; seq breaks ties within a node
@@ -114,61 +115,113 @@ void EventLog::write_jsonl(std::ostream& os) const {
   }
 }
 
+namespace {
+
+/// Parses one JSONL line into an event. Returns false with a description
+/// (no line prefix) on any malformed input.
+bool parse_event_line(const std::string& line, Event* out,
+                      std::string* what) {
+  std::string parse_error;
+  const auto doc = json_parse(line, &parse_error);
+  if (!doc.has_value()) {
+    *what = parse_error;
+    return false;
+  }
+  if (!doc->is_object()) {
+    *what = "not a JSON object";
+    return false;
+  }
+
+  Event e;
+  const JsonValue* ts = doc->find("ts_ns");
+  const JsonValue* node = doc->find("node");
+  const JsonValue* seq = doc->find("seq");
+  const JsonValue* kind = doc->find("kind");
+  if (ts == nullptr || !ts->is_number() || node == nullptr ||
+      !node->is_number() || seq == nullptr || !seq->is_number() ||
+      kind == nullptr || !kind->is_string()) {
+    *what = "missing or mistyped ts_ns/node/seq/kind";
+    return false;
+  }
+  e.ts_ns = static_cast<std::int64_t>(ts->number);
+  e.node = static_cast<std::uint16_t>(node->number);
+  e.seq = static_cast<std::uint64_t>(seq->number);
+  const auto k = event_kind_from_name(kind->string);
+  if (!k.has_value()) {
+    *what = "unknown kind \"" + kind->string + "\"";
+    return false;
+  }
+  e.kind = *k;
+
+  if (const JsonValue* link = doc->find("link")) {
+    if (!link->is_number()) {
+      *what = "mistyped link";
+      return false;
+    }
+    e.link = static_cast<std::int32_t>(link->number);
+  }
+  if (const JsonValue* a = doc->find("a")) {
+    if (!parse_u64_field(*a, &e.a)) {
+      *what = "mistyped a";
+      return false;
+    }
+  }
+  if (const JsonValue* b = doc->find("b")) {
+    if (!parse_u64_field(*b, &e.b)) {
+      *what = "mistyped b";
+      return false;
+    }
+  }
+  if (const JsonValue* v = doc->find("v")) {
+    // Non-finite doubles are emitted as null; map them back to 0.
+    if (!v->is_number() && !v->is_null()) {
+      *what = "mistyped v";
+      return false;
+    }
+    e.value = v->is_number() ? v->number : 0.0;
+  }
+  *out = e;
+  return true;
+}
+
+}  // namespace
+
+EventReader::Status EventReader::next(Event* out, std::string* error) {
+  while (std::getline(*is_, buf_)) {
+    ++line_no_;
+    if (buf_.empty()) continue;
+    std::string what;
+    if (!parse_event_line(buf_, out, &what)) {
+      ++errors_;
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no_) + ": " + what;
+      }
+      return Status::kError;
+    }
+    ++events_;
+    return Status::kEvent;
+  }
+  // A stream that died mid-line (pipe truncation) still surfaces the
+  // partial tail through getline, so reaching here is a clean EOF.
+  return Status::kEof;
+}
+
 std::vector<Event> EventLog::read_jsonl(std::istream& is, std::string* error) {
   std::vector<Event> out;
-  std::string line;
-  std::size_t line_no = 0;
-  const auto fail = [&](const std::string& what) {
-    if (error != nullptr) {
-      *error = "line " + std::to_string(line_no) + ": " + what;
+  EventReader reader(is);
+  Event e;
+  for (;;) {
+    switch (reader.next(&e, error)) {
+      case EventReader::Status::kEvent:
+        out.push_back(e);
+        break;
+      case EventReader::Status::kEof:
+        return out;
+      case EventReader::Status::kError:
+        out.clear();
+        return out;
     }
-    out.clear();
-    return out;
-  };
-
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::string parse_error;
-    const auto doc = json_parse(line, &parse_error);
-    if (!doc.has_value()) return fail(parse_error);
-    if (!doc->is_object()) return fail("not a JSON object");
-
-    Event e;
-    const JsonValue* ts = doc->find("ts_ns");
-    const JsonValue* node = doc->find("node");
-    const JsonValue* seq = doc->find("seq");
-    const JsonValue* kind = doc->find("kind");
-    if (ts == nullptr || !ts->is_number() || node == nullptr ||
-        !node->is_number() || seq == nullptr || !seq->is_number() ||
-        kind == nullptr || !kind->is_string()) {
-      return fail("missing or mistyped ts_ns/node/seq/kind");
-    }
-    e.ts_ns = static_cast<std::int64_t>(ts->number);
-    e.node = static_cast<std::uint16_t>(node->number);
-    e.seq = static_cast<std::uint64_t>(seq->number);
-    const auto k = event_kind_from_name(kind->string);
-    if (!k.has_value()) return fail("unknown kind \"" + kind->string + "\"");
-    e.kind = *k;
-
-    if (const JsonValue* link = doc->find("link")) {
-      if (!link->is_number()) return fail("mistyped link");
-      e.link = static_cast<std::int32_t>(link->number);
-    }
-    if (const JsonValue* a = doc->find("a")) {
-      if (!parse_u64_field(*a, &e.a)) return fail("mistyped a");
-    }
-    if (const JsonValue* b = doc->find("b")) {
-      if (!parse_u64_field(*b, &e.b)) return fail("mistyped b");
-    }
-    if (const JsonValue* v = doc->find("v")) {
-      // Non-finite doubles are emitted as null; map them back to 0.
-      if (!v->is_number() && !v->is_null()) return fail("mistyped v");
-      e.value = v->is_number() ? v->number : 0.0;
-    }
-    out.push_back(e);
   }
-  return out;
 }
 
 }  // namespace paai::obs

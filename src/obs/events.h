@@ -52,9 +52,19 @@ enum class EventKind : std::uint8_t {
   kPacketForward, // a = first wire byte (packet type), b = wire size
   kNodeCrash,
   kNodeRestart,
+  // Stream self-description (logged by the runner right after kRunStart;
+  // node = source). Carries everything src/stream needs to reconstruct
+  // the scoring state without out-of-band configuration.
+  kRunConfig,     // a = ProtocolKind, b = path length d,
+                  // link = blame persistence K, v = decision threshold
+  // Statistical FL: one event per node when a reporting interval folds
+  // into the accumulated counts (node = source, logged before the
+  // interval's kScoreClean).
+  kFlCount,       // link = counted node index (0..d), a = interval,
+                  // b = that node's sampled count for the interval
 };
 
-inline constexpr std::size_t kEventKindCount = 16;
+inline constexpr std::size_t kEventKindCount = 18;
 
 /// Stable kebab-case name ("data-send", "score-blame", ...) used in the
 /// JSONL export; round-trips through event_kind_from_name().
@@ -124,7 +134,7 @@ class EventLog {
 
   /// Parses a JSONL stream produced by write_jsonl(). On failure returns
   /// an empty vector and, when `error` is non-null, a description with
-  /// the offending line number.
+  /// the offending line number. (Convenience wrapper over EventReader.)
   static std::vector<Event> read_jsonl(std::istream& is,
                                        std::string* error = nullptr);
 
@@ -138,6 +148,51 @@ class EventLog {
   std::size_t capacity_;
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
+};
+
+/// Incremental line-oriented reader for the JSONL event stream — the
+/// reusable parsing half of EventLog::read_jsonl(), shaped for consumers
+/// that cannot (or must not) buffer the whole log: `paai serve` tails a
+/// pipe with it, `paai replay` walks multi-hundred-MB logs in O(1)
+/// memory, and tests drive it line by line.
+///
+/// Strictness contract: a truncated, non-JSON, or mistyped line is a hard
+/// error carrying the 1-based line number — never a silent stop and never
+/// a partially-parsed event. Blank lines are skipped (they separate
+/// concatenated logs harmlessly). After kError the reader stays usable:
+/// next() moves past the offending line, so callers choose between
+/// fail-fast (serve's default) and count-and-continue.
+class EventReader {
+ public:
+  enum class Status : std::uint8_t {
+    kEvent,  // *out holds the next event
+    kEof,    // clean end of stream
+    kError,  // malformed line; *error = "line N: <what>"
+  };
+
+  explicit EventReader(std::istream& is) : is_(&is) {}
+
+  EventReader(const EventReader&) = delete;
+  EventReader& operator=(const EventReader&) = delete;
+
+  /// Reads the next event. `out` must be non-null; `error` may be null.
+  Status next(Event* out, std::string* error = nullptr);
+
+  /// 1-based number of the last line consumed (0 before the first read).
+  std::size_t line() const { return line_no_; }
+
+  /// Events successfully parsed so far.
+  std::uint64_t events() const { return events_; }
+
+  /// Malformed lines encountered so far.
+  std::uint64_t errors() const { return errors_; }
+
+ private:
+  std::istream* is_;
+  std::string buf_;
+  std::size_t line_no_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t errors_ = 0;
 };
 
 }  // namespace paai::obs

@@ -29,7 +29,9 @@ Comb1Source::Comb1Source(const ProtocolContext& ctx)
       score_(ctx.d(), /*traversals=*/1.0, /*probe_extra=*/2.0),
       pending_(nullptr),
       send_period_(static_cast<sim::SimDuration>(
-          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
+          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {
+  score_.set_persistence(ctx.params().blame_persistence);
+}
 
 void Comb1Source::start() {
   pending_.attach(node(), ctx_.r0() / 2);

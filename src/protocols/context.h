@@ -69,6 +69,13 @@ struct ProtocolParams {
   /// uplink on them. Costs O(d) bytes per probe.
   bool authenticated_probes = false;
 
+  /// --blame=persistent: when > 0, the ScoreTable-based identify phase
+  /// requires this many first-failing-hop observations of a link (in
+  /// addition to an above-threshold estimate) before convicting it,
+  /// instead of the one-standard-error margin. See
+  /// ScoreTable::set_persistence.
+  std::uint64_t blame_persistence = 0;
+
   // --- Ablation switches (INSECURE — for the design-choice benches) ---
 
   /// > 0 overrides the probe delay (ms). Setting it below the freshness

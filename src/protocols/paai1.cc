@@ -89,7 +89,9 @@ Paai1Source::Paai1Source(const ProtocolContext& ctx)
       score_(ctx.d(), /*traversals=*/2.6),
       pending_(nullptr),
       send_period_(static_cast<sim::SimDuration>(
-          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
+          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {
+  score_.set_persistence(ctx.params().blame_persistence);
+}
 
 void Paai1Source::start() {
   pending_.attach(node(), ctx_.r0() / 2);

@@ -54,13 +54,24 @@ std::vector<double> ScoreTable::thetas() const {
 }
 
 std::vector<std::size_t> ScoreTable::convicted(double threshold) const {
+  std::vector<std::size_t> out;
+  if (n_ == 0) return out;
+  if (persistence_ > 0) {
+    // Persistence mode: the K-repetition requirement replaces the
+    // standard-error margin as the anti-noise gate. An honest link needs
+    // BOTH K first-failing-hop blames AND an above-threshold estimate to
+    // be falsely convicted (bench_robustness section A checks it never
+    // is); an adversary riding just inside the margin no longer escapes.
+    for (std::size_t i = 0; i < s_.size(); ++i) {
+      if (s_[i] >= persistence_ && theta(i) > threshold) out.push_back(i);
+    }
+    return out;
+  }
   // Conviction requires the estimate to clear the threshold by one
   // standard error — the operational form of the paper's "converged
   // condition" (§7: the observed rate approaches its true value within a
   // small uncertainty interval before decisions are made). Without the
   // margin, early small-sample noise convicts honest links.
-  std::vector<std::size_t> out;
-  if (n_ == 0) return out;
   const double n = static_cast<double>(n_);
   for (std::size_t i = 0; i < s_.size(); ++i) {
     const double b = static_cast<double>(s_[i]) / n;
@@ -69,6 +80,16 @@ std::vector<std::size_t> ScoreTable::convicted(double threshold) const {
     if (theta(i) - sd_theta > threshold) out.push_back(i);
   }
   return out;
+}
+
+void ScoreTable::restore(const std::vector<std::uint64_t>& s, std::uint64_t n,
+                         std::uint64_t probes) {
+  if (s.size() != s_.size()) {
+    throw std::invalid_argument("ScoreTable::restore: link count mismatch");
+  }
+  s_ = s;
+  n_ = n;
+  probes_ = probes;
 }
 
 void ScoreTable::reset() {
@@ -165,12 +186,90 @@ std::vector<std::size_t> Paai2ScoreTable::convicted(double threshold) const {
   return out;
 }
 
+void Paai2ScoreTable::restore(const std::vector<std::uint64_t>& s,
+                              const std::vector<std::uint64_t>& sel_n,
+                              const std::vector<std::uint64_t>& sel_f,
+                              std::uint64_t data_packets,
+                              std::uint64_t probes) {
+  if (s.size() != s_.size() || sel_n.size() != sel_n_.size() ||
+      sel_f.size() != sel_f_.size()) {
+    throw std::invalid_argument("Paai2ScoreTable::restore: shape mismatch");
+  }
+  s_ = s;
+  sel_n_ = sel_n;
+  sel_f_ = sel_f;
+  data_packets_ = data_packets;
+  probes_ = probes;
+}
+
 void Paai2ScoreTable::reset() {
   std::fill(s_.begin(), s_.end(), 0ULL);
   std::fill(sel_n_.begin(), sel_n_.end(), 0ULL);
   std::fill(sel_f_.begin(), sel_f_.end(), 0ULL);
   data_packets_ = 0;
   probes_ = 0;
+}
+
+FlScoreTable::FlScoreTable(std::size_t num_links)
+    : acc_(num_links + 1, 0.0) {
+  if (num_links == 0) {
+    throw std::invalid_argument("FlScoreTable: need at least one link");
+  }
+}
+
+void FlScoreTable::add_count(std::size_t node, std::uint64_t count) {
+  if (node >= acc_.size()) {
+    throw std::out_of_range("FlScoreTable::add_count: node index out of range");
+  }
+  acc_[node] += static_cast<double>(count);
+}
+
+std::vector<double> FlScoreTable::thetas() const {
+  const std::size_t d = num_links();
+  std::vector<double> out(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    if (acc_[j] <= 0.0) continue;
+    out[j] = std::max(0.0, 1.0 - acc_[j + 1] / acc_[j]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> FlScoreTable::convicted(double threshold) const {
+  // One-standard-error evidence rule on a ratio of Poisson-ish sampled
+  // counts: Var(S_{j+1}/S_j) ~ 2 S_{j+1} / S_j^2 (both counts carry
+  // sampling noise); the +1 keeps a total blackhole (S_{j+1} = 0)
+  // convictable with a finite margin.
+  const std::vector<double> th = thetas();
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < th.size(); ++j) {
+    const double sj = acc_[j];
+    if (sj < 1.0) continue;
+    const double sd = std::sqrt(2.0 * acc_[j + 1] + 1.0) / sj;
+    if (th[j] - sd > threshold) out.push_back(j);
+  }
+  return out;
+}
+
+double FlScoreTable::observed_e2e_rate() const {
+  if (acc_[0] <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - acc_.back() / acc_[0]);
+}
+
+void FlScoreTable::restore(const std::vector<double>& acc,
+                           std::uint64_t intervals_reported,
+                           std::uint64_t intervals_lost) {
+  if (acc.size() != acc_.size()) {
+    throw std::invalid_argument("FlScoreTable::restore: shape mismatch");
+  }
+  acc_ = acc;
+  intervals_reported_ = intervals_reported;
+  intervals_lost_ = intervals_lost;
+}
+
+void FlScoreTable::reset() {
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  intervals_reported_ = 0;
+  intervals_lost_ = 0;
 }
 
 }  // namespace paai::protocols

@@ -22,6 +22,17 @@
 //     q_e      = P[prefix-e failure]           (from failures when sel == e)
 //     g_j      = (q_{j+1} - q_j) / (1 - q_j)   (per-link, per-"cycle")
 //     theta_j  = 1 - (1 - g_j)^(1/t)           (per traversal, t = 3)
+//
+// FlScoreTable — statistical FL's accumulated per-node sampled counts
+// (§6.2): theta_j = 1 - S_{j+1}/S_j over the counts folded in from each
+// reported interval.
+//
+// All three tables are *stream-consumable*: every mutation corresponds
+// 1:1 to a forensic event the protocols log (obs/events.h), the counters
+// are exposed for snapshotting, and restore() rebuilds a table from a
+// snapshot bit-identically — src/stream's online engine replays a
+// recorded event log through these exact classes, so batch and streaming
+// convictions agree to the last bit.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +66,17 @@ class ScoreTable {
 
   std::uint64_t observations() const { return n_; }
   std::uint64_t score(std::size_t link) const { return s_[link]; }
+  std::uint64_t probes() const { return probes_; }
+
+  /// Persistence-based conviction (--blame=persistent): when K > 0, the
+  /// identify phase trades the one-standard-error margin for a
+  /// K-repetition requirement — a link is convicted once its estimate
+  /// clears the threshold AND it has been named first-failing hop at
+  /// least K times. Repetition is the anti-noise gate instead of the
+  /// margin, which catches adversaries whose estimate rides just inside
+  /// the margin (the bench_robustness collude-r10 frontier gap). 0 = off.
+  void set_persistence(std::uint64_t k) { persistence_ = k; }
+  std::uint64_t persistence() const { return persistence_; }
 
   /// Per-traversal drop-rate estimate for a link (0 when n == 0).
   double theta(std::size_t link) const;
@@ -65,6 +87,13 @@ class ScoreTable {
 
   std::size_t num_links() const { return s_.size(); }
 
+  /// Rebuilds the mutable counters from a snapshot (paai.state.v1).
+  /// `s.size()` must equal num_links(); throws std::invalid_argument
+  /// otherwise. Calibration (traversals/probe_extra/persistence) is
+  /// construction-time state and is not touched.
+  void restore(const std::vector<std::uint64_t>& s, std::uint64_t n,
+               std::uint64_t probes);
+
   void reset();
 
  private:
@@ -73,6 +102,7 @@ class ScoreTable {
   std::vector<std::uint64_t> s_;
   std::uint64_t n_ = 0;
   std::uint64_t probes_ = 0;
+  std::uint64_t persistence_ = 0;
   double traversals_;
   double probe_extra_;
   obs::Counter obs_updates_;
@@ -95,6 +125,7 @@ class Paai2ScoreTable {
   std::uint64_t probes() const { return probes_; }
   std::uint64_t interval_score(std::size_t link) const { return s_[link]; }
   std::uint64_t selections(std::size_t e) const { return sel_n_[e]; }
+  std::uint64_t selection_failures(std::size_t e) const { return sel_f_[e]; }
 
   /// Per-traversal per-link estimates via the prefix-difference estimator.
   std::vector<double> thetas() const;
@@ -108,6 +139,14 @@ class Paai2ScoreTable {
 
   std::size_t num_links() const { return s_.size(); }
 
+  /// Rebuilds the mutable counters from a snapshot (paai.state.v1).
+  /// Vector sizes must match the construction shape; throws
+  /// std::invalid_argument otherwise.
+  void restore(const std::vector<std::uint64_t>& s,
+               const std::vector<std::uint64_t>& sel_n,
+               const std::vector<std::uint64_t>& sel_f,
+               std::uint64_t data_packets, std::uint64_t probes);
+
   void reset();
 
  private:
@@ -118,6 +157,56 @@ class Paai2ScoreTable {
   std::uint64_t probes_ = 0;
   obs::Counter obs_updates_;
   obs::Counter obs_blames_;
+};
+
+/// Statistical FL's accumulated sampled counts (§6.2 phases 4-5): node
+/// F_i counts the K_i-sampled packets it forwards per reporting interval;
+/// the source folds each interval's reported counts into per-node
+/// accumulators S_0..S_d and estimates theta_j = 1 - S_{j+1}/S_j.
+/// Accumulation is in doubles (counts are integers, so sums stay exact
+/// below 2^53) to mirror the estimator the paper's analysis assumes.
+class FlScoreTable {
+ public:
+  explicit FlScoreTable(std::size_t num_links);
+
+  /// Folds one node's count for a reported interval: S_node += count.
+  /// The statfl source calls this for node = 0..d in ascending order,
+  /// once per interval whose onion report verified end-to-end.
+  void add_count(std::size_t node, std::uint64_t count);
+
+  /// Marks a reporting interval folded in (after its d+1 add_count calls).
+  void interval_reported() { ++intervals_reported_; }
+
+  /// Marks a reporting interval abandoned (report never arrived).
+  void interval_lost() { ++intervals_lost_; }
+
+  double accumulated(std::size_t node) const { return acc_[node]; }
+  std::uint64_t intervals_reported() const { return intervals_reported_; }
+  std::uint64_t intervals_lost() const { return intervals_lost_; }
+  std::size_t num_links() const { return acc_.size() - 1; }
+
+  /// theta_j = max(0, 1 - S_{j+1}/S_j); 0 while S_j is empty.
+  std::vector<double> thetas() const;
+
+  /// One-standard-error evidence rule over the count ratios (see
+  /// convicted() in statfl.cc history: Var(theta_j) ~ 2 S_{j+1} / S_j^2,
+  /// +1 so a total blackhole stays convictable).
+  std::vector<std::size_t> convicted(double threshold) const;
+
+  /// 1 - S_d/S_0: the end-to-end drop rate the counts imply.
+  double observed_e2e_rate() const;
+
+  /// Rebuilds the accumulators from a snapshot. `acc.size()` must be
+  /// num_links() + 1; throws std::invalid_argument otherwise.
+  void restore(const std::vector<double>& acc,
+               std::uint64_t intervals_reported, std::uint64_t intervals_lost);
+
+  void reset();
+
+ private:
+  std::vector<double> acc_;  // S_0..S_d, indexed by node
+  std::uint64_t intervals_reported_ = 0;
+  std::uint64_t intervals_lost_ = 0;
 };
 
 }  // namespace paai::protocols

@@ -40,7 +40,7 @@ Bytes statfl_local_report(std::size_t index, std::uint64_t interval,
 
 StatFlSource::StatFlSource(const ProtocolContext& ctx)
     : ctx_(ctx),
-      acc_counts_(ctx.d() + 1, 0.0),
+      score_(ctx.d()),
       send_period_(static_cast<sim::SimDuration>(
           static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
 
@@ -91,7 +91,7 @@ void StatFlSource::request_report(std::uint64_t interval, int attempt) {
   if (!awaiting_active_ || awaiting_ != interval) return;
   if (attempt >= kMaxRequestAttempts) {
     awaiting_active_ = false;
-    ++intervals_lost_;
+    score_.interval_lost();
     // a = interval, b = attempts — the interval's report never arrived.
     ctx_.log_event(node(), obs::EventKind::kAckTimeout, -1, interval,
                    static_cast<std::uint64_t>(attempt));
@@ -151,43 +151,17 @@ void StatFlSource::handle_report(const net::FlReport& report) {
 
   counts[0] = awaiting_own_count_;
   for (std::size_t i = 0; i <= ctx_.d(); ++i) {
-    acc_counts_[i] += static_cast<double>(counts[i]);
+    // One kFlCount per node, in ascending order, so a stream consumer
+    // can rebuild the accumulators without decoding the onion itself.
+    ctx_.log_event(node(), obs::EventKind::kFlCount,
+                   static_cast<std::int32_t>(i), report.interval, counts[i]);
+    score_.add_count(i, counts[i]);
   }
-  ++intervals_reported_;
+  score_.interval_reported();
   awaiting_active_ = false;
   // a = interval, b = intervals folded in so far.
   ctx_.log_event(node(), obs::EventKind::kScoreClean, -1, report.interval,
-                 intervals_reported_);
-}
-
-std::vector<double> StatFlSource::thetas() const {
-  std::vector<double> out(ctx_.d(), 0.0);
-  for (std::size_t j = 0; j < ctx_.d(); ++j) {
-    if (acc_counts_[j] <= 0.0) continue;
-    const double ratio = acc_counts_[j + 1] / acc_counts_[j];
-    out[j] = std::max(0.0, 1.0 - ratio);
-  }
-  return out;
-}
-
-std::vector<std::size_t> StatFlSource::convicted(double threshold) const {
-  // One-standard-error evidence rule. The per-link estimate is a ratio of
-  // two (independently sampled) counts, so Var(theta_j) ~ 2 S_{j+1} /
-  // S_j^2; the +1 keeps a total blackhole (S_{j+1} = 0) convictable.
-  const auto th = thetas();
-  std::vector<std::size_t> out;
-  for (std::size_t j = 0; j < th.size(); ++j) {
-    const double sj = acc_counts_[j];
-    if (sj < 1.0) continue;
-    const double sd = std::sqrt(2.0 * acc_counts_[j + 1] + 1.0) / sj;
-    if (th[j] - sd > threshold) out.push_back(j);
-  }
-  return out;
-}
-
-double StatFlSource::observed_e2e_rate() const {
-  if (acc_counts_.empty() || acc_counts_[0] <= 0.0) return 0.0;
-  return std::max(0.0, 1.0 - acc_counts_[ctx_.d()] / acc_counts_[0]);
+                 score_.intervals_reported());
 }
 
 // ----------------------------------------------------------------- relay

@@ -21,6 +21,7 @@
 #include "net/packet.h"
 #include "protocols/context.h"
 #include "protocols/relay_base.h"
+#include "protocols/score.h"
 #include "protocols/source_handle.h"
 #include "sim/node.h"
 
@@ -34,10 +35,16 @@ class StatFlSource final : public sim::Agent, public SourceHandle {
   void on_packet(const sim::PacketEnv& env) override;
 
   std::uint64_t packets_sent() const override { return sent_; }
-  std::uint64_t observations() const override { return intervals_reported_; }
-  std::vector<double> thetas() const override;
-  std::vector<std::size_t> convicted(double threshold) const override;
-  double observed_e2e_rate() const override;
+  std::uint64_t observations() const override {
+    return score_.intervals_reported();
+  }
+  std::vector<double> thetas() const override { return score_.thetas(); }
+  std::vector<std::size_t> convicted(double threshold) const override {
+    return score_.convicted(threshold);
+  }
+  double observed_e2e_rate() const override {
+    return score_.observed_e2e_rate();
+  }
 
  private:
   void send_next();
@@ -45,16 +52,13 @@ class StatFlSource final : public sim::Agent, public SourceHandle {
   void handle_report(const net::FlReport& report);
 
   const ProtocolContext& ctx_;
+  FlScoreTable score_;
   std::uint64_t sent_ = 0;
   std::uint64_t own_count_ = 0;       // current interval, source's stream
   std::uint64_t interval_ = 0;        // current interval number
   std::uint64_t awaiting_ = 0;        // interval with an outstanding request
   bool awaiting_active_ = false;
   std::uint64_t awaiting_own_count_ = 0;
-  std::uint64_t intervals_reported_ = 0;
-  std::uint64_t intervals_lost_ = 0;
-  // Accumulated sampled-packet counts per node index 0..d.
-  std::vector<double> acc_counts_;
   sim::SimDuration send_period_;
 };
 

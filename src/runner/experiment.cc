@@ -56,6 +56,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     events->append(0, obs::EventKind::kRunStart, /*ts_ns=*/0, /*link=*/-1,
                    config.params.total_packets, config.path.seed,
                    config.decision_threshold);
+    // Stream self-description: everything src/stream needs to rebuild the
+    // scoring state from the log alone (protocol, path length, persistence
+    // K, threshold) — see stream::ScoreEngine.
+    events->append(0, obs::EventKind::kRunConfig, /*ts_ns=*/0,
+                   static_cast<std::int32_t>(config.params.blame_persistence),
+                   static_cast<std::uint64_t>(config.protocol),
+                   static_cast<std::uint64_t>(config.path.length),
+                   config.decision_threshold);
   }
 
   const auto provider = crypto::make_crypto(config.crypto);

@@ -1,0 +1,32 @@
+#include "runner/producer.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/events.h"
+
+namespace paai::runner {
+
+StreamProduceResult run_experiment_to_stream(ExperimentConfig config,
+                                             std::ostream& os,
+                                             std::size_t events_cap) {
+  if (events_cap == 0) {
+    // The busiest ring is the source's: per data packet it sees the
+    // protocol decisions (send, sample, probe, ack, onion, score — up to
+    // ~8) plus its own wire events. 16/packet with a floor comfortably
+    // bounds every protocol in the suite.
+    events_cap = std::max<std::size_t>(
+        4096, static_cast<std::size_t>(config.params.total_packets) * 16);
+  }
+  obs::EventLog log(events_cap);
+  config.path.events = &log;
+
+  StreamProduceResult out;
+  out.result = run_experiment(config);
+  out.events_recorded = log.recorded();
+  out.events_dropped = log.dropped();
+  log.write_jsonl(os);
+  return out;
+}
+
+}  // namespace paai::runner

@@ -1,0 +1,129 @@
+#include "stream/service.h"
+
+#include <exception>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.h"
+#include "stream/state.h"
+
+namespace paai::stream {
+
+namespace {
+
+bool write_snapshot(const ScoreEngine& engine, const std::string& path,
+                    std::string* error) {
+  // Write-then-rename would be stronger, but the repo's tooling reads
+  // snapshots only after the writer exits; a plain truncate-write keeps
+  // the service dependency-free. The trailing newline makes the file a
+  // valid JSONL single-document too.
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    *error = "cannot open state file '" + path + "' for writing";
+    return false;
+  }
+  write_state(out, engine);
+  out << '\n';
+  out.flush();
+  if (!out) {
+    *error = "short write to state file '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+void announce_conviction(std::ostream& log, const ScoreEngine& engine,
+                         std::size_t link) {
+  const std::vector<double> thetas = engine.thetas();
+  obs::JsonWriter w(log);
+  w.begin_object();
+  w.key("kind").value("conviction");
+  w.key("link").value(static_cast<std::int64_t>(link));
+  w.key("theta").value(link < thetas.size() ? thetas[link] : 0.0);
+  w.key("observations").value(std::to_string(engine.observations()));
+  w.key("packets_sent").value(std::to_string(engine.packets_sent()));
+  w.key("events").value(std::to_string(engine.events_seen()));
+  w.end_object();
+  log << '\n';
+  log.flush();
+}
+
+}  // namespace
+
+ServeReport serve_stream(ScoreEngine& engine, std::istream& in,
+                         std::ostream& log, const ServeConfig& config,
+                         const volatile std::sig_atomic_t* stop) {
+  ServeReport report;
+  obs::EventReader reader(in);
+  obs::Counter snapshots_counter =
+      obs::MetricsRegistry::global().counter("stream.snapshots");
+  std::uint64_t next_snapshot =
+      config.snapshot_every > 0 ? config.snapshot_every : 0;
+
+  obs::Event event;
+  std::string error;
+  for (;;) {
+    if (stop != nullptr && *stop != 0) {
+      report.interrupted = true;
+      break;
+    }
+    const obs::EventReader::Status status = reader.next(&event, &error);
+    if (status == obs::EventReader::Status::kEof) break;
+    if (status == obs::EventReader::Status::kError) {
+      ++report.parse_errors;
+      if (config.fail_fast) {
+        report.failed = true;
+        report.error = error;
+        break;
+      }
+      continue;
+    }
+
+    ++report.events;
+    const std::uint64_t applied_before = engine.events_applied();
+    try {
+      engine.apply(event);
+    } catch (const std::exception& e) {
+      report.failed = true;
+      report.error = "line " + std::to_string(reader.line()) + ": " + e.what();
+      break;
+    }
+    if (engine.events_applied() == applied_before) continue;
+    ++report.applied;
+
+    for (const std::size_t link : engine.take_new_convictions()) {
+      report.new_convictions.push_back(link);
+      if (config.announce) announce_conviction(log, engine, link);
+    }
+
+    if (next_snapshot != 0 && report.applied >= next_snapshot) {
+      next_snapshot += config.snapshot_every;
+      if (!config.state_out.empty()) {
+        std::string snap_error;
+        if (!write_snapshot(engine, config.state_out, &snap_error)) {
+          report.failed = true;
+          report.error = snap_error;
+          break;
+        }
+        ++report.snapshots;
+        snapshots_counter.add();
+      }
+    }
+  }
+
+  report.lines = reader.line();
+  // Exit snapshot on every path — a drained serve must be resumable.
+  if (!config.state_out.empty() && engine.configured()) {
+    std::string snap_error;
+    if (write_snapshot(engine, config.state_out, &snap_error)) {
+      ++report.snapshots;
+      snapshots_counter.add();
+    } else if (!report.failed) {
+      report.failed = true;
+      report.error = snap_error;
+    }
+  }
+  return report;
+}
+
+}  // namespace paai::stream

@@ -1,0 +1,276 @@
+#include "stream/state.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace paai::stream {
+
+namespace {
+
+void write_u64(obs::JsonWriter& w, std::uint64_t v) {
+  w.value(std::to_string(v));
+}
+
+bool parse_u64(const obs::JsonValue* v, std::uint64_t* out) {
+  if (v == nullptr || !v->is_string() || v->string.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->string.c_str(), &end, 10);
+  if (errno != 0 || end != v->string.c_str() + v->string.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_u64_array(const obs::JsonValue* v, std::vector<std::uint64_t>* out) {
+  if (v == nullptr || !v->is_array()) return false;
+  out->clear();
+  out->reserve(v->array.size());
+  for (const obs::JsonValue& item : v->array) {
+    std::uint64_t x = 0;
+    if (!parse_u64(&item, &x)) return false;
+    out->push_back(x);
+  }
+  return true;
+}
+
+bool fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string("paai.state.v1: ") + what;
+  return false;
+}
+
+}  // namespace
+
+void write_state(std::ostream& os, const ScoreEngine& engine) {
+  const EngineConfig& cfg = engine.config();
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value(kStateSchema);
+  w.key("protocol").value(static_cast<std::int64_t>(cfg.protocol));
+  w.key("protocol_name").value(protocols::protocol_name(cfg.protocol));
+  w.key("links").value(static_cast<std::int64_t>(cfg.num_links));
+  w.key("threshold").value(cfg.threshold);
+  w.key("persistence");
+  write_u64(w, cfg.blame_persistence);
+  w.key("events_seen");
+  write_u64(w, engine.events_seen());
+  w.key("events_applied");
+  write_u64(w, engine.events_applied());
+  w.key("packets_sent");
+  write_u64(w, engine.packets_sent());
+  w.key("delivered");
+  write_u64(w, engine.delivered());
+  w.key("run_ended").value(engine.run_ended());
+
+  w.key("recorded_convictions").begin_array();
+  for (const ConvictionRecord& rec : engine.recorded_convictions()) {
+    w.begin_object();
+    w.key("link").value(static_cast<std::int64_t>(rec.link));
+    w.key("packets");
+    write_u64(w, rec.packets);
+    w.key("observations");
+    write_u64(w, rec.observations);
+    w.key("theta").value(rec.theta);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("table").begin_object();
+  if (const protocols::ScoreTable* t = engine.onion_table()) {
+    w.key("kind").value("onion");
+    w.key("s").begin_array();
+    for (std::size_t i = 0; i < t->num_links(); ++i) write_u64(w, t->score(i));
+    w.end_array();
+    w.key("n");
+    write_u64(w, t->observations());
+    w.key("probes");
+    write_u64(w, t->probes());
+  } else if (const protocols::Paai2ScoreTable* t2 = engine.prefix_table()) {
+    w.key("kind").value("prefix");
+    w.key("s").begin_array();
+    for (std::size_t i = 0; i < t2->num_links(); ++i) {
+      write_u64(w, t2->interval_score(i));
+    }
+    w.end_array();
+    w.key("sel_n").begin_array();
+    for (std::size_t e = 0; e <= t2->num_links(); ++e) {
+      write_u64(w, t2->selections(e));
+    }
+    w.end_array();
+    w.key("sel_f").begin_array();
+    for (std::size_t e = 0; e <= t2->num_links(); ++e) {
+      write_u64(w, t2->selection_failures(e));
+    }
+    w.end_array();
+    w.key("data_packets");
+    write_u64(w, t2->data_packets());
+    w.key("probes");
+    write_u64(w, t2->probes());
+  } else if (const protocols::FlScoreTable* tf = engine.fl_table()) {
+    w.key("kind").value("fl");
+    w.key("acc").begin_array();
+    for (std::size_t i = 0; i <= tf->num_links(); ++i) {
+      w.value(tf->accumulated(i));
+    }
+    w.end_array();
+    w.key("intervals_reported");
+    write_u64(w, tf->intervals_reported());
+    w.key("intervals_lost");
+    write_u64(w, tf->intervals_lost());
+  } else {
+    w.key("kind").value("none");
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string state_to_string(const ScoreEngine& engine) {
+  std::ostringstream os;
+  write_state(os, engine);
+  return os.str();
+}
+
+bool load_state(std::string_view json, ScoreEngine* engine,
+                std::string* error) {
+  std::string parse_error;
+  const auto doc = obs::json_parse(json, &parse_error);
+  if (!doc.has_value()) return fail(error, parse_error.c_str());
+  if (!doc->is_object()) return fail(error, "not a JSON object");
+
+  const obs::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kStateSchema) {
+    return fail(error, "missing or unsupported schema (want paai.state.v1)");
+  }
+
+  const obs::JsonValue* protocol = doc->find("protocol");
+  const obs::JsonValue* links = doc->find("links");
+  const obs::JsonValue* threshold = doc->find("threshold");
+  if (protocol == nullptr || !protocol->is_number() || links == nullptr ||
+      !links->is_number() || threshold == nullptr || !threshold->is_number()) {
+    return fail(error, "missing or mistyped protocol/links/threshold");
+  }
+  const auto kind_value = static_cast<std::int64_t>(protocol->number);
+  if (kind_value < 0 ||
+      kind_value > static_cast<std::int64_t>(protocols::ProtocolKind::kSigAck)) {
+    return fail(error, "unknown protocol id");
+  }
+
+  EngineConfig cfg;
+  cfg.protocol = static_cast<protocols::ProtocolKind>(kind_value);
+  cfg.num_links = static_cast<std::size_t>(links->number);
+  cfg.threshold = threshold->number;
+  if (!parse_u64(doc->find("persistence"), &cfg.blame_persistence)) {
+    return fail(error, "missing or mistyped persistence");
+  }
+  if (cfg.num_links == 0) return fail(error, "links must be positive");
+  engine->configure(cfg);
+
+  std::uint64_t events_seen = 0, events_applied = 0;
+  std::uint64_t packets_sent = 0, delivered = 0;
+  if (!parse_u64(doc->find("events_seen"), &events_seen) ||
+      !parse_u64(doc->find("events_applied"), &events_applied) ||
+      !parse_u64(doc->find("packets_sent"), &packets_sent) ||
+      !parse_u64(doc->find("delivered"), &delivered)) {
+    return fail(error, "missing or mistyped counters");
+  }
+  const obs::JsonValue* run_ended = doc->find("run_ended");
+  if (run_ended == nullptr || run_ended->kind != obs::JsonValue::Kind::kBool) {
+    return fail(error, "missing or mistyped run_ended");
+  }
+
+  std::vector<ConvictionRecord> recorded;
+  const obs::JsonValue* recs = doc->find("recorded_convictions");
+  if (recs == nullptr || !recs->is_array()) {
+    return fail(error, "missing recorded_convictions");
+  }
+  for (const obs::JsonValue& item : recs->array) {
+    const obs::JsonValue* link = item.find("link");
+    const obs::JsonValue* theta = item.find("theta");
+    ConvictionRecord rec;
+    if (link == nullptr || !link->is_number() || theta == nullptr ||
+        !theta->is_number() || !parse_u64(item.find("packets"), &rec.packets) ||
+        !parse_u64(item.find("observations"), &rec.observations)) {
+      return fail(error, "mistyped conviction record");
+    }
+    rec.link = static_cast<std::size_t>(link->number);
+    rec.theta = theta->number;
+    recorded.push_back(rec);
+  }
+
+  const obs::JsonValue* table = doc->find("table");
+  if (table == nullptr || !table->is_object()) {
+    return fail(error, "missing table");
+  }
+  const obs::JsonValue* table_kind = table->find("kind");
+  if (table_kind == nullptr || !table_kind->is_string()) {
+    return fail(error, "missing table.kind");
+  }
+
+  if (protocols::ScoreTable* t = engine->mutable_onion_table()) {
+    if (table_kind->string != "onion") {
+      return fail(error, "table.kind does not match the protocol");
+    }
+    std::vector<std::uint64_t> s;
+    std::uint64_t n = 0, probes = 0;
+    if (!parse_u64_array(table->find("s"), &s) ||
+        !parse_u64(table->find("n"), &n) ||
+        !parse_u64(table->find("probes"), &probes)) {
+      return fail(error, "mistyped onion table");
+    }
+    if (s.size() != cfg.num_links) return fail(error, "onion table shape");
+    t->restore(s, n, probes);
+  } else if (protocols::Paai2ScoreTable* t2 = engine->mutable_prefix_table()) {
+    if (table_kind->string != "prefix") {
+      return fail(error, "table.kind does not match the protocol");
+    }
+    std::vector<std::uint64_t> s, sel_n, sel_f;
+    std::uint64_t data_packets = 0, probes = 0;
+    if (!parse_u64_array(table->find("s"), &s) ||
+        !parse_u64_array(table->find("sel_n"), &sel_n) ||
+        !parse_u64_array(table->find("sel_f"), &sel_f) ||
+        !parse_u64(table->find("data_packets"), &data_packets) ||
+        !parse_u64(table->find("probes"), &probes)) {
+      return fail(error, "mistyped prefix table");
+    }
+    if (s.size() != cfg.num_links || sel_n.size() != cfg.num_links + 1 ||
+        sel_f.size() != cfg.num_links + 1) {
+      return fail(error, "prefix table shape");
+    }
+    t2->restore(s, sel_n, sel_f, data_packets, probes);
+  } else if (protocols::FlScoreTable* tf = engine->mutable_fl_table()) {
+    if (table_kind->string != "fl") {
+      return fail(error, "table.kind does not match the protocol");
+    }
+    const obs::JsonValue* acc_value = table->find("acc");
+    if (acc_value == nullptr || !acc_value->is_array()) {
+      return fail(error, "mistyped fl table");
+    }
+    std::vector<double> acc;
+    acc.reserve(acc_value->array.size());
+    for (const obs::JsonValue& item : acc_value->array) {
+      if (!item.is_number()) return fail(error, "mistyped fl table");
+      acc.push_back(item.number);
+    }
+    std::uint64_t reported = 0, lost = 0;
+    if (!parse_u64(table->find("intervals_reported"), &reported) ||
+        !parse_u64(table->find("intervals_lost"), &lost)) {
+      return fail(error, "mistyped fl table");
+    }
+    if (acc.size() != cfg.num_links + 1) return fail(error, "fl table shape");
+    tf->restore(acc, reported, lost);
+  } else {
+    return fail(error, "engine has no table after configure");
+  }
+
+  engine->restore_counters(events_seen, events_applied, packets_sent,
+                           delivered, run_ended->boolean,
+                           std::move(recorded));
+  engine->rebaseline_convictions();
+  return true;
+}
+
+}  // namespace paai::stream

@@ -1,0 +1,58 @@
+// Deterministic snapshot/restore of the streaming scoring state — the
+// `paai.state.v1` JSON document.
+//
+// A snapshot captures everything apply() can mutate: the engine
+// configuration, the active score table's counters, the derived counters
+// (packets sent, delivered, events seen/applied), and the batch
+// conviction records observed so far. Integer counters are emitted as
+// decimal strings (like the event stream's a/b fields) so 64-bit values
+// survive double-typed JSON parsers; doubles go through json_number's
+// %.17g, which round-trips bit-exactly. Consequence: serve → snapshot →
+// restore → continue produces the same final state as an uninterrupted
+// pass over the same events — tests/stream_test.cc and the check.sh serve
+// leg hold the repo to that.
+//
+// Schema (paai.state.v1):
+//   {
+//     "schema": "paai.state.v1",
+//     "protocol": <ProtocolKind int>, "protocol_name": "<display>",
+//     "links": <int>, "threshold": <double>, "persistence": "<u64>",
+//     "events_seen": "<u64>", "events_applied": "<u64>",
+//     "packets_sent": "<u64>", "delivered": "<u64>", "run_ended": <bool>,
+//     "recorded_convictions": [
+//       {"link": <int>, "packets": "<u64>", "observations": "<u64>",
+//        "theta": <double>}, ...],
+//     "table":
+//       {"kind": "onion", "s": ["<u64>", ...], "n": "<u64>",
+//        "probes": "<u64>"}
+//     | {"kind": "prefix", "s": [...], "sel_n": [...], "sel_f": [...],
+//        "data_packets": "<u64>", "probes": "<u64>"}
+//     | {"kind": "fl", "acc": [<double>, ...],
+//        "intervals_reported": "<u64>", "intervals_lost": "<u64>"}
+//   }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "stream/engine.h"
+
+namespace paai::stream {
+
+inline constexpr std::string_view kStateSchema = "paai.state.v1";
+
+/// Writes the engine's state as one paai.state.v1 document (no trailing
+/// newline). The engine must be configured.
+void write_state(std::ostream& os, const ScoreEngine& engine);
+
+std::string state_to_string(const ScoreEngine& engine);
+
+/// Parses a paai.state.v1 document and installs it into `engine`
+/// (reconfiguring it from the document). Returns false and a description
+/// via `error` on schema violations; the engine is left unusable
+/// (unconfigured or partially restored) on failure — discard it.
+bool load_state(std::string_view json, ScoreEngine* engine,
+                std::string* error = nullptr);
+
+}  // namespace paai::stream

@@ -1,0 +1,539 @@
+// Tests for src/stream — the online scoring engine.
+//
+// The correctness anchor is batch/stream equivalence: for every protocol,
+// feeding a batch run's recorded event stream through ScoreEngine must
+// reproduce the run's final thetas, conviction set, observation counts,
+// and e2e rate *bit-identically* (exact double equality, no tolerance),
+// including across a mid-stream snapshot/restore cycle. Around that
+// anchor: paai.state.v1 round-trips, EventReader strictness (fuzz-style
+// malformed input with line-numbered errors), persistence-mode
+// conviction, and the serve loop's drain/snapshot behavior.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/spec.h"
+#include "faults/plan.h"
+#include "obs/events.h"
+#include "protocols/score.h"
+#include "runner/experiment.h"
+#include "runner/producer.h"
+#include "stream/engine.h"
+#include "stream/service.h"
+#include "stream/state.h"
+
+namespace paai::stream {
+namespace {
+
+constexpr protocols::ProtocolKind kAllProtocols[] = {
+    protocols::ProtocolKind::kFullAck,      protocols::ProtocolKind::kPaai1,
+    protocols::ProtocolKind::kPaai2,        protocols::ProtocolKind::kCombination1,
+    protocols::ProtocolKind::kCombination2, protocols::ProtocolKind::kStatisticalFl,
+    protocols::ProtocolKind::kSigAck,
+};
+
+struct BatchRun {
+  runner::ExperimentResult result;
+  std::vector<obs::Event> events;
+  std::uint64_t dropped = 0;
+};
+
+BatchRun run_with_log(runner::ExperimentConfig cfg) {
+  obs::EventLog log(
+      static_cast<std::size_t>(cfg.params.total_packets) * 16 + 4096);
+  cfg.path.events = &log;
+  BatchRun out;
+  out.result = runner::run_experiment(cfg);
+  out.events = log.merged();
+  out.dropped = log.dropped();
+  return out;
+}
+
+/// Bit-exact comparison between a finished engine and the batch result it
+/// replays. EXPECT_EQ on doubles is exact equality — that is the point.
+void expect_equivalent(const runner::ExperimentResult& batch,
+                       const ScoreEngine& engine, const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_TRUE(engine.run_ended());
+  EXPECT_EQ(engine.packets_sent(), batch.packets_sent);
+  EXPECT_EQ(engine.observations(), batch.observations);
+  EXPECT_EQ(engine.observed_e2e_rate(), batch.observed_e2e_rate);
+  const std::vector<double> thetas = engine.thetas();
+  ASSERT_EQ(thetas.size(), batch.final_thetas.size());
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    EXPECT_EQ(thetas[i], batch.final_thetas[i]) << "theta of l_" << i;
+  }
+  EXPECT_EQ(engine.convicted(), batch.final_convicted);
+}
+
+obs::Event make_event(obs::EventKind kind, std::int32_t link = -1,
+                      std::uint64_t a = 0, std::uint64_t b = 0,
+                      double v = 0.0) {
+  obs::Event e;
+  e.kind = kind;
+  e.link = link;
+  e.a = a;
+  e.b = b;
+  e.value = v;
+  return e;
+}
+
+obs::Event run_config_event(protocols::ProtocolKind protocol, std::size_t d,
+                            double threshold, std::uint64_t persistence = 0) {
+  return make_event(obs::EventKind::kRunConfig,
+                    static_cast<std::int32_t>(persistence),
+                    static_cast<std::uint64_t>(protocol), d, threshold);
+}
+
+// ------------------------------------------------------- batch equivalence
+
+// Every protocol, the paper's reference scenario (link fault on l_4).
+TEST(Equivalence, AllProtocolsReferenceScenario) {
+  for (const auto protocol : kAllProtocols) {
+    const BatchRun batch =
+        run_with_log(runner::paper_config(protocol, 3000, 7));
+    ASSERT_EQ(batch.dropped, 0u);
+    ScoreEngine engine;
+    for (const obs::Event& e : batch.events) engine.apply(e);
+    EXPECT_EQ(engine.config().protocol, protocol);
+    expect_equivalent(batch.result, engine,
+                      protocols::protocol_name(protocol));
+  }
+}
+
+// Every protocol under a benign fault plan (Gilbert-Elliott bursts on an
+// honest link) — the stream must absorb the same noisy evidence.
+TEST(Equivalence, AllProtocolsBenignFaults) {
+  for (const auto protocol : kAllProtocols) {
+    runner::ExperimentConfig cfg = runner::paper_config(protocol, 3000, 11);
+    cfg.faults =
+        faults::FaultPlan::parse("ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15");
+    const BatchRun batch = run_with_log(cfg);
+    ASSERT_EQ(batch.dropped, 0u);
+    ScoreEngine engine;
+    for (const obs::Event& e : batch.events) engine.apply(e);
+    expect_equivalent(batch.result, engine,
+                      protocols::protocol_name(protocol));
+  }
+}
+
+// Every protocol against a behavioural adversary (colluding dropper).
+TEST(Equivalence, AllProtocolsAdversary) {
+  for (const auto protocol : kAllProtocols) {
+    runner::ExperimentConfig cfg = runner::paper_config(protocol, 3000, 13);
+    cfg.link_faults.clear();
+    const auto plan = adversary::AdversaryPlan::parse("collude@4:rate=0.5");
+    cfg.adversaries.assign(plan.specs.begin(), plan.specs.end());
+    const BatchRun batch = run_with_log(cfg);
+    ASSERT_EQ(batch.dropped, 0u);
+    ScoreEngine engine;
+    for (const obs::Event& e : batch.events) engine.apply(e);
+    expect_equivalent(batch.result, engine,
+                      protocols::protocol_name(protocol));
+  }
+}
+
+// Persistence mode travels through the stream: the kRunConfig prologue
+// carries K, and the engine's conviction rule matches the batch one.
+TEST(Equivalence, PersistentBlameModeReplays) {
+  runner::ExperimentConfig cfg =
+      runner::paper_config(protocols::ProtocolKind::kPaai1, 3000, 17);
+  cfg.params.blame_persistence = 3;
+  const BatchRun batch = run_with_log(cfg);
+  ASSERT_EQ(batch.dropped, 0u);
+  ScoreEngine engine;
+  for (const obs::Event& e : batch.events) engine.apply(e);
+  EXPECT_EQ(engine.config().blame_persistence, 3u);
+  expect_equivalent(batch.result, engine, "paai1-persistent");
+}
+
+// ------------------------------------------------- snapshot / restore
+
+// One protocol per table family: interrupting the stream at an arbitrary
+// point, snapshotting, restoring into a fresh engine, and continuing must
+// land on the exact same final state as an uninterrupted pass.
+TEST(Snapshot, MidStreamRestoreIsLossless) {
+  const protocols::ProtocolKind families[] = {
+      protocols::ProtocolKind::kPaai1,         // ScoreTable
+      protocols::ProtocolKind::kPaai2,         // Paai2ScoreTable
+      protocols::ProtocolKind::kStatisticalFl, // FlScoreTable
+  };
+  for (const auto protocol : families) {
+    SCOPED_TRACE(protocols::protocol_name(protocol));
+    const BatchRun batch =
+        run_with_log(runner::paper_config(protocol, 3000, 23));
+    ASSERT_EQ(batch.dropped, 0u);
+
+    ScoreEngine uninterrupted;
+    for (const obs::Event& e : batch.events) uninterrupted.apply(e);
+
+    const std::size_t cut = batch.events.size() / 2;
+    ScoreEngine first_half;
+    for (std::size_t i = 0; i < cut; ++i) first_half.apply(batch.events[i]);
+    const std::string snapshot = state_to_string(first_half);
+
+    ScoreEngine resumed;
+    std::string error;
+    ASSERT_TRUE(load_state(snapshot, &resumed, &error)) << error;
+    for (std::size_t i = cut; i < batch.events.size(); ++i) {
+      resumed.apply(batch.events[i]);
+    }
+
+    expect_equivalent(batch.result, resumed, "resumed");
+    EXPECT_EQ(resumed.events_seen(), uninterrupted.events_seen());
+    EXPECT_EQ(resumed.events_applied(), uninterrupted.events_applied());
+    EXPECT_EQ(resumed.recorded_convictions().size(),
+              uninterrupted.recorded_convictions().size());
+  }
+}
+
+TEST(Snapshot, StateRoundTripsByteIdentically) {
+  const BatchRun batch = run_with_log(
+      runner::paper_config(protocols::ProtocolKind::kFullAck, 1000, 29));
+  ScoreEngine engine;
+  for (const obs::Event& e : batch.events) engine.apply(e);
+  const std::string once = state_to_string(engine);
+  ScoreEngine reloaded;
+  std::string error;
+  ASSERT_TRUE(load_state(once, &reloaded, &error)) << error;
+  EXPECT_EQ(state_to_string(reloaded), once);
+}
+
+TEST(Snapshot, LoadRejectsGarbage) {
+  ScoreEngine engine;
+  std::string error;
+  EXPECT_FALSE(load_state("not json", &engine, &error));
+  EXPECT_FALSE(load_state("{}", &engine, &error));
+  EXPECT_FALSE(load_state(R"({"schema":"paai.state.v2"})", &engine, &error));
+  // Valid schema, wrong table shape.
+  EXPECT_FALSE(load_state(
+      R"({"schema":"paai.state.v1","protocol":1,"links":6,"threshold":0.018,)"
+      R"("persistence":"0","events_seen":"0","events_applied":"0",)"
+      R"("packets_sent":"0","delivered":"0","run_ended":false,)"
+      R"("recorded_convictions":[],)"
+      R"("table":{"kind":"onion","s":["0","0"],"n":"0","probes":"0"}})",
+      &engine, &error));
+  EXPECT_NE(error.find("shape"), std::string::npos);
+}
+
+// ------------------------------------------------------------- the engine
+
+TEST(Engine, ScoreEventBeforeConfigThrows) {
+  ScoreEngine engine;
+  EXPECT_THROW(engine.apply(make_event(obs::EventKind::kScoreClean)),
+               std::runtime_error);
+  EXPECT_THROW(engine.apply(make_event(obs::EventKind::kDataSend)),
+               std::runtime_error);
+}
+
+TEST(Engine, RunConfigMismatchThrows) {
+  ScoreEngine engine;
+  engine.apply(
+      run_config_event(protocols::ProtocolKind::kPaai1, 6, 0.018));
+  ASSERT_TRUE(engine.configured());
+  // Same config again is fine (concatenated identical runs).
+  EXPECT_NO_THROW(engine.apply(
+      run_config_event(protocols::ProtocolKind::kPaai1, 6, 0.018)));
+  EXPECT_THROW(engine.apply(run_config_event(
+                   protocols::ProtocolKind::kFullAck, 6, 0.018)),
+               std::runtime_error);
+  EXPECT_THROW(
+      engine.apply(run_config_event(protocols::ProtocolKind::kPaai1, 7,
+                                    0.018)),
+      std::runtime_error);
+}
+
+TEST(Engine, CrossProtocolEventsThrow) {
+  ScoreEngine engine(
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+  EXPECT_THROW(engine.apply(make_event(obs::EventKind::kFlCount, 2, 0, 10)),
+               std::runtime_error);
+  EXPECT_THROW(
+      engine.apply(make_event(obs::EventKind::kScoreBlame, /*link=*/9)),
+      std::runtime_error);
+  EXPECT_THROW(
+      engine.apply(make_event(obs::EventKind::kScoreBlame, /*link=*/-1)),
+      std::runtime_error);
+}
+
+TEST(Engine, ConvictionTransitionsFireOnce) {
+  ScoreEngine engine(
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.001, 0});
+  // Enough clean mass plus repeated blames of l_3 to cross the margin.
+  for (int i = 0; i < 50; ++i) {
+    engine.apply(make_event(obs::EventKind::kScoreClean));
+  }
+  EXPECT_TRUE(engine.take_new_convictions().empty());
+  for (int i = 0; i < 50; ++i) {
+    engine.apply(make_event(obs::EventKind::kScoreBlame, /*link=*/3));
+  }
+  const std::vector<std::size_t> fresh = engine.take_new_convictions();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], 3u);
+  // Already announced: no re-announcement while convicted.
+  EXPECT_TRUE(engine.take_new_convictions().empty());
+}
+
+// ------------------------------------------------------- persistence rule
+
+TEST(Persistence, RequiresKRepetitions) {
+  protocols::ScoreTable table(6, /*traversals=*/1.0);
+  table.set_persistence(3);
+  for (int i = 0; i < 200; ++i) table.add_clean();
+  table.blame(4);
+  table.blame(4);
+  // theta(4) ~ 2/202 ≈ 0.0099 — far above a 0.001 threshold, but only two
+  // first-failing-hop observations: not convictable yet.
+  EXPECT_TRUE(table.convicted(0.001).empty());
+  table.blame(4);
+  const std::vector<std::size_t> convicted = table.convicted(0.001);
+  ASSERT_EQ(convicted.size(), 1u);
+  EXPECT_EQ(convicted[0], 4u);
+}
+
+TEST(Persistence, ReplacesMarginNotThreshold) {
+  protocols::ScoreTable table(6, /*traversals=*/1.0);
+  table.set_persistence(2);
+  for (int i = 0; i < 100; ++i) table.add_clean();
+  table.blame(1);
+  table.blame(1);
+  // theta(1) ~ 2/102 ≈ 0.0196: above a 0.01 threshold (convict), below a
+  // 0.05 threshold (not) — K alone never convicts.
+  EXPECT_EQ(table.convicted(0.01).size(), 1u);
+  EXPECT_TRUE(table.convicted(0.05).empty());
+}
+
+// -------------------------------------------------------- event reader
+
+std::string to_jsonl(const std::vector<obs::Event>& events) {
+  obs::EventLog log(events.size() + 1);
+  for (const obs::Event& e : events) {
+    log.append(e.node, e.kind, e.ts_ns, e.link, e.a, e.b, e.value);
+  }
+  std::ostringstream os;
+  log.write_jsonl(os);
+  return os.str();
+}
+
+TEST(Reader, RoundTripsAndCounts) {
+  std::vector<obs::Event> events;
+  events.push_back(make_event(obs::EventKind::kDataSend, -1, 42, 7));
+  events.push_back(make_event(obs::EventKind::kScoreBlame, 3, 42, 1, 0.5));
+  const std::string jsonl = "\n" + to_jsonl(events) + "\n\n";
+
+  std::istringstream is(jsonl);
+  obs::EventReader reader(is);
+  obs::Event e;
+  std::string error;
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEvent);
+  EXPECT_EQ(e.kind, obs::EventKind::kDataSend);
+  EXPECT_EQ(e.a, 42u);
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEvent);
+  EXPECT_EQ(e.kind, obs::EventKind::kScoreBlame);
+  EXPECT_EQ(e.link, 3);
+  EXPECT_EQ(e.value, 0.5);
+  EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEof);
+  EXPECT_EQ(reader.events(), 2u);
+  EXPECT_EQ(reader.errors(), 0u);
+}
+
+TEST(Reader, ErrorsCarryLineNumbersAndReaderSurvives) {
+  const std::string good =
+      to_jsonl({make_event(obs::EventKind::kDataSend, -1, 1, 0)});
+  const std::string jsonl = good + "this is not json\n" + good;
+  std::istringstream is(jsonl);
+  obs::EventReader reader(is);
+  obs::Event e;
+  std::string error;
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEvent);
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kError);
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+  // Count-and-continue: the reader moves past the bad line.
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEvent);
+  EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEof);
+  EXPECT_EQ(reader.events(), 2u);
+  EXPECT_EQ(reader.errors(), 1u);
+}
+
+TEST(Reader, RejectsMistypedFields) {
+  const char* bad_lines[] = {
+      // ts_ns as string
+      R"({"ts_ns":"0","node":0,"seq":0,"kind":"data-send","a":"1","b":"0","v":0})",
+      // unknown kind
+      R"({"ts_ns":0,"node":0,"seq":0,"kind":"no-such-kind","a":"1","b":"0","v":0})",
+      // a as JSON number instead of a decimal string
+      R"({"ts_ns":0,"node":0,"seq":0,"kind":"data-send","a":1,"b":"0","v":0})",
+      // missing seq
+      R"({"ts_ns":0,"node":0,"kind":"data-send","a":"1","b":"0","v":0})",
+      // v as string
+      R"({"ts_ns":0,"node":0,"seq":0,"kind":"data-send","a":"1","b":"0","v":"x"})",
+      // not an object
+      R"([1,2,3])",
+  };
+  for (const char* line : bad_lines) {
+    SCOPED_TRACE(line);
+    std::istringstream is(std::string(line) + "\n");
+    obs::EventReader reader(is);
+    obs::Event e;
+    std::string error;
+    EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kError);
+    EXPECT_NE(error.find("line 1:"), std::string::npos) << error;
+  }
+}
+
+// Fuzz-style: every strict prefix of a valid line must be rejected (a
+// truncated tail from a killed producer), and deterministic byte
+// corruption must never crash the reader — it either still parses or
+// reports a line-numbered error.
+TEST(Reader, TruncationAndCorruptionFuzz) {
+  const std::string line = to_jsonl(
+      {make_event(obs::EventKind::kScoreBlame, 4, 0xdeadbeefULL, 9, 0.25)});
+  ASSERT_FALSE(line.empty());
+  const std::string body = line.substr(0, line.size() - 1);  // strip '\n'
+
+  for (std::size_t len = 1; len < body.size(); ++len) {
+    std::istringstream is(body.substr(0, len) + "\n");
+    obs::EventReader reader(is);
+    obs::Event e;
+    std::string error;
+    EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kError)
+        << "prefix length " << len;
+  }
+
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  auto next_rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = body;
+    const std::size_t flips = 1 + next_rand() % 4;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[next_rand() % mutated.size()] =
+          static_cast<char>(next_rand() % 256);
+    }
+    std::istringstream is(mutated + "\n");
+    obs::EventReader reader(is);
+    obs::Event e;
+    std::string error;
+    const auto status = reader.next(&e, &error);
+    if (status == obs::EventReader::Status::kError) {
+      EXPECT_NE(error.find("line"), std::string::npos);
+    }
+  }
+}
+
+TEST(Reader, ReadJsonlWrapperFailsClosed) {
+  std::istringstream is("garbage\n");
+  std::string error;
+  const std::vector<obs::Event> events = obs::EventLog::read_jsonl(is, &error);
+  EXPECT_TRUE(events.empty());
+  EXPECT_NE(error.find("line 1:"), std::string::npos);
+}
+
+// ------------------------------------------------------------- the service
+
+TEST(Service, FailFastStopsAtFirstBadLine) {
+  const std::string good =
+      to_jsonl({make_event(obs::EventKind::kDataSend, -1, 1, 0)});
+  std::istringstream is(good + "garbage\n" + good);
+  ScoreEngine engine(
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+  std::ostringstream log;
+  ServeConfig cfg;
+  cfg.fail_fast = true;
+  const ServeReport report = serve_stream(engine, is, log, cfg);
+  EXPECT_TRUE(report.failed);
+  EXPECT_EQ(report.events, 1u);
+  EXPECT_EQ(report.parse_errors, 1u);
+  EXPECT_NE(report.error.find("line 2:"), std::string::npos);
+}
+
+TEST(Service, SkipMalformedContinues) {
+  const std::string good =
+      to_jsonl({make_event(obs::EventKind::kDataSend, -1, 1, 0)});
+  std::istringstream is(good + "garbage\n" + good);
+  ScoreEngine engine(
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+  std::ostringstream log;
+  ServeConfig cfg;
+  cfg.fail_fast = false;
+  const ServeReport report = serve_stream(engine, is, log, cfg);
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(report.events, 2u);
+  EXPECT_EQ(report.parse_errors, 1u);
+  EXPECT_EQ(engine.packets_sent(), 2u);
+}
+
+TEST(Service, StopFlagDrainsImmediately) {
+  std::istringstream is(
+      to_jsonl({make_event(obs::EventKind::kDataSend, -1, 1, 0)}));
+  ScoreEngine engine(
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+  std::ostringstream log;
+  const volatile std::sig_atomic_t stop = 1;
+  const ServeReport report =
+      serve_stream(engine, is, log, ServeConfig{}, &stop);
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.events, 0u);
+}
+
+TEST(Service, SnapshotsAreReloadable) {
+  const BatchRun batch = run_with_log(
+      runner::paper_config(protocols::ProtocolKind::kPaai1, 1000, 31));
+  std::ostringstream jsonl;
+  {
+    obs::EventLog log(batch.events.size() + 1);
+    for (const obs::Event& e : batch.events) {
+      log.append(e.node, e.kind, e.ts_ns, e.link, e.a, e.b, e.value);
+    }
+    log.write_jsonl(jsonl);
+  }
+  const std::string state_path =
+      testing::TempDir() + "/stream_test_state.json";
+  std::istringstream is(jsonl.str());
+  ScoreEngine engine;
+  std::ostringstream log;
+  ServeConfig cfg;
+  cfg.state_out = state_path;
+  cfg.snapshot_every = 100;
+  const ServeReport report = serve_stream(engine, is, log, cfg);
+  EXPECT_FALSE(report.failed) << report.error;
+  EXPECT_GE(report.snapshots, 2u);  // periodic + exit
+
+  std::ifstream in(state_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ScoreEngine restored;
+  std::string error;
+  ASSERT_TRUE(load_state(buf.str(), &restored, &error)) << error;
+  expect_equivalent(batch.result, restored, "from exit snapshot");
+}
+
+// --------------------------------------------------------- the producer
+
+TEST(Producer, StreamsADropFreeLog) {
+  std::ostringstream os;
+  const runner::StreamProduceResult produced = runner::run_experiment_to_stream(
+      runner::paper_config(protocols::ProtocolKind::kPaai1, 1000, 37), os);
+  EXPECT_EQ(produced.events_dropped, 0u);
+  EXPECT_GT(produced.events_recorded, 0u);
+
+  std::istringstream is(os.str());
+  ScoreEngine engine;
+  std::ostringstream log;
+  const ServeReport report = serve_stream(engine, is, log, ServeConfig{});
+  EXPECT_FALSE(report.failed) << report.error;
+  expect_equivalent(produced.result, engine, "producer stream");
+}
+
+}  // namespace
+}  // namespace paai::stream

@@ -49,6 +49,7 @@ SPECS=(
   "bench_fig2_fullack:bench_fig2_fullack:--scale=5 --runs=8"
   "bench_ablation:bench_ablation:--scale=10 --runs=6"
   "bench_micro:bench_micro:--benchmark_filter=BM_CounterAdd|BM_HistogramObserve|BM_EventLogAppend|BM_Sha256|BM_EventQueue"
+  "bench_stream:bench_stream:--scale=25 --runs=3"
 )
 
 # --full: every bench binary at paper scale (figure defaults; run counts
@@ -70,6 +71,7 @@ if [[ $FULL -eq 1 ]]; then
     "bench_robustness:bench_robustness:"
     "bench_sec9_tradeoff:bench_sec9_tradeoff:"
     "bench_micro:bench_micro:"
+    "bench_stream:bench_stream:"
   )
 fi
 

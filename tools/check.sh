@@ -77,6 +77,10 @@ echo "== leg 3: bench_diff =="
 # wall-clock timings measure the machine the snapshot ran on.
 "$ASAN_DIR/tools/bench_diff" --ignore=bench_micro \
     BENCH_pr3.json BENCH_pr6.json
+# pr6 -> pr7 adds the bench_stream section; its throughput/latency numbers
+# measure the machine (like bench_micro), so both are ignored.
+"$ASAN_DIR/tools/bench_diff" --ignore=bench_micro --ignore=bench_stream \
+    BENCH_pr6.json BENCH_pr7.json
 
 echo "== leg 4: forensics smoke (paai run --events-out -> paai explain) =="
 cmake --build "$ASAN_DIR" --target paai -j "$(nproc)"
@@ -120,4 +124,36 @@ if grep -q "CONVICTED l_2" "$SMOKE_DIR/collude_explain.stdout"; then
   exit 1
 fi
 
-echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean"
+echo "== leg 6: serve-mode smoke (stream engine replay + snapshot/restore) =="
+# A batch run's event stream replayed through the online engine must
+# reproduce the batch verdict bit-identically (`replay --verify` diffs the
+# engine's conviction set, thetas, and observation counts against the
+# stream's own kConviction records), including when the stream is cut in
+# half and the engine round-trips through a paai.state.v1 snapshot.
+"$ASAN_DIR/tools/paai" run --protocol=paai1 --packets=8000 --seed=1 \
+    --fault=4:0.02 --events-out="$SMOKE_DIR/stream.jsonl" \
+    --events-cap=200000 > "$SMOKE_DIR/stream_run.stdout"
+"$ASAN_DIR/tools/paai" replay "$SMOKE_DIR/stream.jsonl" --verify \
+    > "$SMOKE_DIR/replay.stdout" || {
+  echo "leg 6 FAILED: replay --verify diverged from the batch run:" >&2
+  cat "$SMOKE_DIR/replay.stdout" >&2
+  exit 1
+}
+# Snapshot mid-stream, restore, and finish: same verdict.
+split -l 6000 "$SMOKE_DIR/stream.jsonl" "$SMOKE_DIR/stream_part."
+"$ASAN_DIR/tools/paai" serve --in="$SMOKE_DIR/stream_part.aa" \
+    --state-out="$SMOKE_DIR/state.json" > "$SMOKE_DIR/serve.stdout"
+cat "$SMOKE_DIR/stream_part."a[b-z] > "$SMOKE_DIR/stream_rest.jsonl"
+"$ASAN_DIR/tools/paai" replay "$SMOKE_DIR/stream_rest.jsonl" \
+    --state-in="$SMOKE_DIR/state.json" --verify \
+    > "$SMOKE_DIR/replay_resumed.stdout" || {
+  echo "leg 6 FAILED: snapshot/restore replay diverged:" >&2
+  cat "$SMOKE_DIR/replay_resumed.stdout" >&2
+  exit 1
+}
+grep -q "verify: OK" "$SMOKE_DIR/replay_resumed.stdout" || {
+  echo "leg 6 FAILED: resumed replay did not report verify: OK" >&2
+  exit 1
+}
+
+echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean, serve smoke clean"

@@ -5,6 +5,14 @@
 //   paai bounds  [options]  evaluate the §7 closed forms
 //   paai explain FILE       replay a forensic event log (JSONL, written by
 //                           --events-out) into a conviction audit trail
+//   paai serve   [options]  online scoring service: consume a JSONL event
+//                           stream (stdin, file, or FIFO) through the
+//                           incremental engine; announce convictions as
+//                           they happen, snapshot state periodically,
+//                           drain gracefully on SIGINT
+//   paai replay  FILE       feed a recorded event log through the stream
+//                           engine; with --verify, assert the result is
+//                           bit-identical to the batch run's verdict
 //
 // Options (all commands):
 //   --protocol=NAME   full-ack | paai1 | paai2 | comb1 | comb2 | statfl |
@@ -28,6 +36,10 @@
 //   --faults=SPEC     scripted benign faults (bursty loss, link churn,
 //                     node outages); compact grammar or JSON — see
 //                     docs/FAULTS.md
+//   --blame=MODE      conviction rule: standard (one-standard-error
+//                     margin) or persistent[:K] — require K repeated
+//                     first-failing-hop observations instead of the
+//                     margin (default standard; persistent defaults K=3)
 //   --runs=N          (curve) Monte-Carlo runs              (default 50)
 //   --jobs=N          (curve) worker threads; 0 = all cores (default 0)
 //                     results are bit-identical for any value
@@ -47,12 +59,29 @@
 //            --faults='ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15'
 //   paai run --protocol=paai1 --faults='ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15'
 //   paai curve --protocol=paai2 --packets=400000 --runs=20
+//   paai run --packets=20000 --events-out=run.jsonl
+//   paai replay run.jsonl --verify
+//   mkfifo events.pipe
+//   paai serve --in=events.pipe --state-out=paai.state --snapshot-every=1000
+//
+// Serve/replay options:
+//   --in=PATH         JSONL event source; '-' = stdin     (serve default -)
+//   --state-in=F      restore engine state (paai.state.v1) before reading
+//   --state-out=F     snapshot target; written every --snapshot-every
+//                     applied events and once on every exit path
+//   --snapshot-every=N  periodic snapshot cadence (applied events; 0=off)
+//   --skip-malformed  (serve) count and skip bad lines instead of failing
+//   --verify          (replay) exit nonzero unless the engine's verdict
+//                     matches the log's recorded batch convictions exactly
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "adversary/spec.h"
@@ -63,6 +92,10 @@
 #include "obs/events.h"
 #include "obs/forensics.h"
 #include "runner/montecarlo.h"
+#include "runner/producer.h"
+#include "stream/engine.h"
+#include "stream/service.h"
+#include "stream/state.h"
 #include "util/csv.h"
 
 using namespace paai;
@@ -137,6 +170,20 @@ AdversarySpec parse_legacy_adversary(const std::string& spec) {
   return out;
 }
 
+/// --blame=standard | persistent[:K]; returns the persistence K (0 =
+/// standard margin rule).
+std::uint64_t parse_blame_mode(const std::string& mode) {
+  if (mode == "standard") return 0;
+  if (mode == "persistent") return 3;
+  if (mode.rfind("persistent:", 0) == 0) {
+    const std::uint64_t k = std::stoull(mode.substr(sizeof("persistent:") - 1));
+    if (k == 0) throw CliError{"--blame=persistent:K wants K >= 1"};
+    return k;
+  }
+  throw CliError{"--blame wants 'standard' or 'persistent[:K]', got '" +
+                 mode + "'"};
+}
+
 ExperimentConfig config_from_args(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.protocol =
@@ -180,6 +227,9 @@ ExperimentConfig config_from_args(int argc, char** argv) {
   }
   if (const auto spec = get_opt(argc, argv, "faults")) {
     cfg.faults = faults::FaultPlan::parse(*spec);
+  }
+  if (const auto blame = get_opt(argc, argv, "blame")) {
+    cfg.params.blame_persistence = parse_blame_mode(*blame);
   }
   return cfg;
 }
@@ -336,6 +386,197 @@ int cmd_explain(int argc, char** argv) {
   return report.convictions.empty() ? 1 : 0;
 }
 
+// ------------------------------------------------------------ serve/replay
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_sigint(int) { g_stop = 1; }
+
+/// Builds the streaming engine for serve/replay: restored from
+/// --state-in, pre-configured from --protocol/--d/--threshold/--blame, or
+/// left blank to self-configure from the log's run-config prologue.
+stream::ScoreEngine make_stream_engine(int argc, char** argv) {
+  stream::ScoreEngine engine;
+  if (const auto path = get_opt(argc, argv, "state-in")) {
+    std::ifstream in(*path);
+    if (!in) throw CliError{"cannot open state file '" + *path + "'"};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!stream::load_state(buf.str(), &engine, &error)) {
+      throw CliError{"'" + *path + "': " + error};
+    }
+    std::fprintf(stderr,
+                 "state: restored %s engine at %llu events (%llu applied)\n",
+                 protocols::protocol_name(engine.config().protocol),
+                 static_cast<unsigned long long>(engine.events_seen()),
+                 static_cast<unsigned long long>(engine.events_applied()));
+  } else if (const auto protocol = get_opt(argc, argv, "protocol")) {
+    stream::EngineConfig cfg;
+    cfg.protocol = parse_protocol(*protocol);
+    cfg.num_links = std::stoul(get_opt(argc, argv, "d").value_or("6"));
+    const double rho = std::stod(get_opt(argc, argv, "rho").value_or("0.01"));
+    cfg.threshold = std::stod(
+        get_opt(argc, argv, "threshold").value_or(std::to_string(rho + 0.008)));
+    if (const auto blame = get_opt(argc, argv, "blame")) {
+      cfg.blame_persistence = parse_blame_mode(*blame);
+    }
+    engine.configure(cfg);
+  }
+  return engine;
+}
+
+stream::ServeConfig serve_config_from_args(int argc, char** argv) {
+  stream::ServeConfig cfg;
+  cfg.snapshot_every =
+      std::stoull(get_opt(argc, argv, "snapshot-every").value_or("0"));
+  cfg.state_out = get_opt(argc, argv, "state-out").value_or("");
+  cfg.fail_fast = !has_flag(argc, argv, "--skip-malformed");
+  return cfg;
+}
+
+void print_serve_summary(const char* cmd, const stream::ServeReport& report,
+                         const stream::ScoreEngine& engine) {
+  std::fprintf(
+      stderr,
+      "%s: %zu lines, %llu events (%llu applied, %llu malformed), "
+      "%llu snapshots%s\n",
+      cmd, report.lines, static_cast<unsigned long long>(report.events),
+      static_cast<unsigned long long>(report.applied),
+      static_cast<unsigned long long>(report.parse_errors),
+      static_cast<unsigned long long>(report.snapshots),
+      report.interrupted ? " [drained on SIGINT]" : "");
+  if (engine.configured()) {
+    std::fprintf(stderr,
+                 "%s: %s, %llu packets, %llu observations, e2e %.4f\n", cmd,
+                 protocols::protocol_name(engine.config().protocol),
+                 static_cast<unsigned long long>(engine.packets_sent()),
+                 static_cast<unsigned long long>(engine.observations()),
+                 engine.observed_e2e_rate());
+  }
+}
+
+int cmd_serve(int argc, char** argv) {
+  bench::BenchSession session("paai.serve", argc, argv);
+  stream::ScoreEngine engine = make_stream_engine(argc, argv);
+  const std::string in_path = get_opt(argc, argv, "in").value_or("-");
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (in_path != "-") {
+    file.open(in_path);
+    if (!file) throw CliError{"cannot open '" + in_path + "'"};
+    in = &file;
+  }
+  const stream::ServeConfig cfg = serve_config_from_args(argc, argv);
+
+  g_stop = 0;
+  const auto previous = std::signal(SIGINT, handle_sigint);
+  const stream::ServeReport report =
+      stream::serve_stream(engine, *in, std::cout, cfg, &g_stop);
+  std::signal(SIGINT, previous);
+
+  session.metric("events", static_cast<double>(report.events));
+  session.metric("events_applied", static_cast<double>(report.applied));
+  session.metric("parse_errors", static_cast<double>(report.parse_errors));
+  session.metric("snapshots", static_cast<double>(report.snapshots));
+  session.metric("convictions",
+                 static_cast<double>(report.new_convictions.size()));
+  print_serve_summary("serve", report, engine);
+  if (report.failed) {
+    std::fprintf(stderr, "error: %s\n", report.error.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  std::string path;
+  if (argc >= 3 && argv[2][0] != '-') {
+    path = argv[2];
+  } else if (const auto opt = get_opt(argc, argv, "in")) {
+    path = *opt;
+  } else {
+    throw CliError{"replay wants an event-log file: paai replay FILE"};
+  }
+  std::ifstream in(path);
+  if (!in) throw CliError{"cannot open '" + path + "'"};
+
+  bench::BenchSession session("paai.replay", argc, argv);
+  stream::ScoreEngine engine = make_stream_engine(argc, argv);
+  stream::ServeConfig cfg = serve_config_from_args(argc, argv);
+  cfg.fail_fast = true;   // a recorded log must parse completely
+  cfg.announce = false;   // the verdict table below is the output
+  const stream::ServeReport report =
+      stream::serve_stream(engine, in, std::cout, cfg, nullptr);
+  print_serve_summary("replay", report, engine);
+  if (report.failed) {
+    std::fprintf(stderr, "error: %s\n", report.error.c_str());
+    return 2;
+  }
+  if (!engine.configured()) {
+    throw CliError{"log carries no run-config and no --protocol/--state-in "
+                   "was given"};
+  }
+
+  const std::vector<double> thetas = engine.thetas();
+  const std::vector<std::size_t> convicted = engine.convicted();
+  Table table({"link", "estimated_theta", "verdict"});
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const bool is_convicted =
+        std::find(convicted.begin(), convicted.end(), i) != convicted.end();
+    table.row()
+        .cell("l_" + std::to_string(i))
+        .num(thetas[i], 4)
+        .cell(is_convicted ? "CONVICTED" : "");
+  }
+  table.print(std::cout, has_flag(argc, argv, "--csv"));
+
+  if (has_flag(argc, argv, "--verify")) {
+    if (!engine.run_ended()) {
+      std::fprintf(stderr,
+                   "verify: log has no run-end (partial log?) — nothing to "
+                   "verify against\n");
+      return 1;
+    }
+    // The batch run's final verdict: the conviction records stamped with
+    // the run's total packet count (checkpoint records carry smaller
+    // counts). Bit-identity means the same link set AND the same thetas.
+    bool ok = true;
+    std::vector<std::size_t> expected;
+    for (const stream::ConvictionRecord& rec : engine.recorded_convictions()) {
+      if (rec.packets != engine.packets_sent()) continue;
+      expected.push_back(rec.link);
+      if (rec.link >= thetas.size() || thetas[rec.link] != rec.theta) {
+        std::fprintf(stderr,
+                     "verify: theta mismatch on l_%zu (batch %.17g, "
+                     "stream %.17g)\n",
+                     rec.link, rec.theta,
+                     rec.link < thetas.size() ? thetas[rec.link] : 0.0);
+        ok = false;
+      }
+      if (rec.observations != engine.observations()) {
+        std::fprintf(stderr,
+                     "verify: observation count mismatch on l_%zu\n",
+                     rec.link);
+        ok = false;
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    if (expected != convicted) {
+      std::fprintf(stderr,
+                   "verify: conviction set mismatch (batch %zu links, "
+                   "stream %zu links)\n",
+                   expected.size(), convicted.size());
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("\nverify: OK — stream verdict bit-identical to the batch "
+                "run (%zu convicted)\n",
+                convicted.size());
+    return 0;
+  }
+  return convicted.empty() ? 1 : 0;
+}
+
 int cmd_bounds(int argc, char** argv) {
   analysis::Params p;
   p.d = std::stoul(get_opt(argc, argv, "d").value_or("6"));
@@ -372,8 +613,14 @@ void usage() {
       "            [--faults=SPEC] [--runs=N] [--jobs=N] [--seed=N] "
       "[--csv]\n"
       "            [--metrics-out=FILE] [--trace-out=FILE]\n"
-      "            [--events-out=FILE] [--events-cap=N]\n"
+      "            [--events-out=FILE] [--events-cap=N] [--blame=MODE]\n"
       "       paai explain FILE    audit trail from an --events-out log\n"
+      "       paai serve  [--in=PATH|-] [--state-in=F] [--state-out=F]\n"
+      "                   [--snapshot-every=N] [--skip-malformed]\n"
+      "                            online scoring over a JSONL stream\n"
+      "       paai replay FILE [--verify] [--state-in/--state-out]\n"
+      "                            stream engine over a recorded log;\n"
+      "                            --verify asserts batch bit-identity\n"
       "see tools/paai_cli.cc header for details and examples; the fault\n"
       "plan grammar is documented in docs/FAULTS.md, the adversary plan\n"
       "grammar (adaptive strategies included) in docs/ADVERSARIES.md, the\n"
@@ -393,6 +640,8 @@ int main(int argc, char** argv) {
     if (cmd == "curve") return cmd_curve(argc, argv);
     if (cmd == "bounds") return cmd_bounds(argc, argv);
     if (cmd == "explain") return cmd_explain(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "replay") return cmd_replay(argc, argv);
   } catch (const CliError& e) {
     std::fprintf(stderr, "error: %s\n", e.message.c_str());
     return 2;
