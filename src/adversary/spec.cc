@@ -1,5 +1,6 @@
 #include "adversary/spec.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -215,6 +216,37 @@ std::string Spec::to_string() const {
              ",off=" + fmt(off_s);
   }
   return {};
+}
+
+double Spec::mean_drop_rate(double cover_fraction,
+                            double decision_threshold) const {
+  switch (kind) {
+    case Kind::kUniform:
+    case Kind::kCorrupt:  // corrupted packets fail verification downstream
+    case Kind::kWithholdDrop:
+    case Kind::kWithholdRelease:
+    case Kind::kProbeShy:
+      return rate;
+    case Kind::kTypeRates:
+      return type_rates.data;
+    case Kind::kAckOnly:
+    case Kind::kOriginFilter:
+      return 0.0;
+    case Kind::kBurst:
+      return burst_period == 0
+                 ? 0.0
+                 : static_cast<double>(burst) /
+                       static_cast<double>(burst_period);
+    case Kind::kFaultCollude:
+      return rate * std::min(std::max(cover_fraction, 0.0), 1.0);
+    case Kind::kThresholdStealth:
+      return margin * decision_threshold;
+    case Kind::kOnOff: {
+      const double cycle = on_s + off_s;
+      return cycle > 0.0 ? rate * on_s / cycle : 0.0;
+    }
+  }
+  return 0.0;
 }
 
 AdversaryPlan AdversaryPlan::parse(std::string_view text) {

@@ -68,6 +68,18 @@ struct Spec {
 
   /// Canonical single-clause rendering ("stealth@4:margin=0.9").
   std::string to_string() const;
+
+  /// Time-averaged data-plane drop rate the strategy inflicts on its
+  /// downstream links — the rate the mesh stat engine (src/mesh) maps a
+  /// node spec onto every outgoing topology link. `cover_fraction` is the
+  /// long-run fraction of time benign fault cover is active (collude
+  /// drops only then); `decision_threshold` calibrates the
+  /// threshold-stealth rider (it parks its projected blame at margin x
+  /// threshold). Control-plane-only kinds (ack, originfilter) drop no
+  /// data and return 0; probe-shy ignores its cooldown (a conservative
+  /// upper bound). Exact behavioural semantics need the packet engine.
+  double mean_drop_rate(double cover_fraction,
+                        double decision_threshold) const;
 };
 
 /// An ordered list of Specs, at most one per node. Parse accepts the

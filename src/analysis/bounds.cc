@@ -1,5 +1,6 @@
 #include "analysis/bounds.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace paai::analysis {
@@ -95,6 +96,17 @@ double optimal_spread_total(std::size_t z, const Params& p) {
   // Corollary 2: one malicious link per path maximizes total damage; the
   // aggregate malicious drop rate grows linearly in z.
   return static_cast<double>(z) * p.alpha;
+}
+
+double concentrated_total(std::size_t z, const Params& p) {
+  // All z links stacked on one path: each surviving packet faces the next
+  // link's alpha, so the end-to-end malicious drop rate compounds to
+  // 1 - (1-alpha)^z — bounded by 1 no matter the budget.
+  return 1.0 - std::pow(1.0 - p.alpha, static_cast<double>(z));
+}
+
+double spread_advantage(std::size_t z, const Params& p) {
+  return std::max(0.0, optimal_spread_total(z, p) - concentrated_total(z, p));
 }
 
 }  // namespace paai::analysis

@@ -86,4 +86,17 @@ StorageBound storage_comb2(const Params& p);    // {1+p, 1}
 /// an onion-report protocol.
 double optimal_spread_total(std::size_t z, const Params& p);
 
+/// Total malicious end-to-end drop rate when all z compromised links are
+/// concentrated on ONE path: drops compound multiplicatively, so the
+/// damage saturates at 1 - (1-alpha)^z instead of growing linearly —
+/// the other side of Corollary 2's spread-vs-concentrate comparison.
+double concentrated_total(std::size_t z, const Params& p);
+
+/// Corollary 2's headline gap: how much extra undetected damage spreading
+/// buys over concentrating the same z-link budget,
+/// optimal_spread_total - concentrated_total (>= 0, 0 at z <= 1, and
+/// approximately alpha^2 * z(z-1)/2 for small z * alpha). The mesh tests
+/// cross-check measured MeshRunner damage against both closed forms.
+double spread_advantage(std::size_t z, const Params& p);
+
 }  // namespace paai::analysis

@@ -29,4 +29,9 @@ std::vector<std::pair<std::size_t, std::size_t>> ShardPlan::partition(
   return out;
 }
 
+std::size_t fixed_tile_count(std::size_t items, std::size_t max_tiles) {
+  if (items == 0) return 0;
+  return std::min(items, std::max<std::size_t>(max_tiles, 1));
+}
+
 }  // namespace paai::exec

@@ -38,4 +38,14 @@ class ShardPlan {
   std::vector<std::uint64_t> seeds_;
 };
 
+/// Tile count for block-scheduled reductions whose partial results are
+/// folded in tile order (the mesh runner's sharded score accumulation).
+/// The count is a pure function of the item count — NEVER of the jobs
+/// knob — because the fold order over tiles is part of the result's value
+/// for floating-point partials: if the tiling changed with the worker
+/// count, `--jobs` would change the summation tree and break the
+/// bit-identity contract. `max_tiles` well above any plausible pool size
+/// keeps all workers busy while bounding in-flight per-tile shard memory.
+std::size_t fixed_tile_count(std::size_t items, std::size_t max_tiles = 256);
+
 }  // namespace paai::exec

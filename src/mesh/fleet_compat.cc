@@ -1,0 +1,52 @@
+// run_fleet re-expressed as the degenerate mesh case: link-disjoint
+// linear chains (one per path), packet engine, per-path fault lists
+// applied verbatim. The historical contract — baseline seeded seed0,
+// paths seeded by ShardPlan(seed0 + 1), damage folded in path order — is
+// carried by the packet engine's fleet-compat mode, so FleetResult
+// numbers are bit-identical to the original standalone implementation
+// (tests/fleet_test.cc pins this against an inlined copy of the legacy
+// serial loop).
+#include "runner/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mesh/runner.h"
+
+namespace paai::runner {
+
+FleetResult run_fleet(const FleetConfig& config) {
+  mesh::MeshConfig mc;
+  const std::size_t chains = std::max<std::size_t>(1, config.paths.size());
+  mc.topo = mesh::Topology::linear(chains, config.base.path.length);
+  mc.paths = mc.topo.enumerate_paths(config.paths.size(), /*seed=*/0);
+  mc.engine = mesh::MeshEngine::kPacket;
+  mc.natural_loss = config.base.path.natural_loss;
+  mc.decision_threshold = config.base.decision_threshold;
+  mc.seed0 = config.seed0;
+  mc.jobs = config.jobs;
+  mc.packet_base = config.base;
+  mc.packet_path_faults = config.paths;
+  mc.packet_baseline = true;
+
+  mesh::MeshResult mr = mesh::run_mesh(mc);
+
+  FleetResult result;
+  result.total_damage = mr.total_damage;
+  result.baseline_delivery = mr.baseline_delivery;
+  result.exec = mr.exec;
+  result.paths.reserve(mr.path_outcomes.size());
+  for (mesh::MeshPathOutcome& outcome : mr.path_outcomes) {
+    FleetResult::PathOutcome path;
+    path.ground_truth_delivery = outcome.ground_truth_delivery;
+    path.observed_e2e_rate = outcome.observed_e2e_rate;
+    path.convicted = std::move(outcome.convicted);
+    path.malicious = std::move(outcome.malicious);
+    path.all_malicious_convicted = outcome.all_malicious_convicted;
+    path.any_honest_convicted = outcome.any_honest_convicted;
+    result.paths.push_back(std::move(path));
+  }
+  return result;
+}
+
+}  // namespace paai::runner

@@ -1,0 +1,123 @@
+#include "mesh/score_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paai::mesh {
+
+namespace {
+
+/// Inserts `path` into a sorted kWitnessCap window (ascending, kNoWitness
+/// padded), keeping the smallest ids. Duplicate ids are kept out so a
+/// path absorbed via several shards (impossible today — tiles partition
+/// the path range — but cheap to guarantee) counts once.
+void witness_insert(std::uint32_t* window, std::uint32_t path) {
+  for (std::size_t i = 0; i < kWitnessCap; ++i) {
+    if (window[i] == path) return;
+    if (path < window[i]) {
+      std::swap(path, window[i]);
+    }
+  }
+}
+
+}  // namespace
+
+ScoreShard::ScoreShard(std::size_t num_links)
+    : units_(num_links, 0),
+      blames_(num_links, 0),
+      paths_(num_links, 0),
+      solo_(num_links, 0),
+      witness_(num_links * kWitnessCap, kNoWitness) {
+  if (num_links == 0) {
+    throw std::invalid_argument("ScoreShard: need at least one link");
+  }
+}
+
+void ScoreShard::add(std::size_t link, std::uint64_t units,
+                     std::uint64_t blames, std::uint32_t path, bool solo) {
+  units_[link] += units;
+  blames_[link] += blames;
+  paths_[link] += 1;
+  solo_[link] += solo ? 1 : 0;
+  if (blames > 0) {
+    witness_insert(witness_.data() + link * kWitnessCap, path);
+  }
+}
+
+std::size_t ScoreShard::bytes_for(std::size_t num_links) {
+  return num_links * (4 * sizeof(std::uint64_t) +
+                      kWitnessCap * sizeof(std::uint32_t));
+}
+
+GlobalScoreStore::GlobalScoreStore(std::size_t num_links)
+    : units_(num_links, 0),
+      blames_(num_links, 0),
+      paths_(num_links, 0),
+      solo_(num_links, 0),
+      witness_(num_links * kWitnessCap, kNoWitness) {
+  if (num_links == 0) {
+    throw std::invalid_argument("GlobalScoreStore: need at least one link");
+  }
+}
+
+void GlobalScoreStore::absorb(const ScoreShard& shard) {
+  if (shard.num_links() != num_links()) {
+    throw std::invalid_argument("GlobalScoreStore::absorb: link mismatch");
+  }
+  for (std::size_t l = 0; l < units_.size(); ++l) {
+    units_[l] += shard.units_[l];
+    blames_[l] += shard.blames_[l];
+    paths_[l] += shard.paths_[l];
+    solo_[l] += shard.solo_[l];
+    const std::uint32_t* in = shard.witness_.data() + l * kWitnessCap;
+    std::uint32_t* out = witness_.data() + l * kWitnessCap;
+    for (std::size_t i = 0; i < kWitnessCap && in[i] != kNoWitness; ++i) {
+      witness_insert(out, in[i]);
+    }
+  }
+}
+
+std::vector<std::uint32_t> GlobalScoreStore::witnesses(
+    std::size_t link) const {
+  std::vector<std::uint32_t> out;
+  const std::uint32_t* w = witness_.data() + link * kWitnessCap;
+  for (std::size_t i = 0; i < kWitnessCap && w[i] != kNoWitness; ++i) {
+    out.push_back(w[i]);
+  }
+  return out;
+}
+
+double GlobalScoreStore::theta(std::size_t link) const {
+  if (units_[link] == 0) return 0.0;
+  return static_cast<double>(blames_[link]) /
+         static_cast<double>(units_[link]);
+}
+
+bool GlobalScoreStore::convicts(std::size_t link, double threshold) const {
+  const std::uint64_t n_units = units_[link];
+  if (n_units == 0) return false;
+  const double n = static_cast<double>(n_units);
+  const double b = static_cast<double>(blames_[link]) / n;
+  const double sd = std::sqrt(std::max(b, 1.0 / n) * (1.0 - b) / n);
+  return b - sd > threshold;
+}
+
+std::vector<std::size_t> GlobalScoreStore::convicted(
+    double threshold) const {
+  std::vector<std::size_t> out;
+  for (std::size_t l = 0; l < units_.size(); ++l) {
+    if (convicts(l, threshold)) out.push_back(l);
+  }
+  return out;
+}
+
+std::size_t GlobalScoreStore::memory_bytes() const {
+  return units_.capacity() * sizeof(std::uint64_t) +
+         blames_.capacity() * sizeof(std::uint64_t) +
+         paths_.capacity() * sizeof(std::uint64_t) +
+         solo_.capacity() * sizeof(std::uint64_t) +
+         witness_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace paai::mesh

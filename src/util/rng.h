@@ -50,6 +50,17 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
+  /// Binomial(n, p) draw. Exact CDF-inversion walk while the expected
+  /// count is small (the regime the mesh stat engine lives in: per-path,
+  /// per-round drop counts with n*p well under a few hundred); switches to
+  /// a clamped continuity-corrected normal approximation when both tails
+  /// exceed kBinomialExactLimit, where inversion would underflow and cost
+  /// O(n*p) anyway. Consumes exactly one next_double() either way, so a
+  /// draw is a pure function of (state, n, p) — the determinism contract
+  /// everything in src/exec relies on.
+  static constexpr double kBinomialExactLimit = 400.0;
+  std::uint64_t binomial(std::uint64_t n, double p);
+
   /// Derives an independent child stream; children with distinct tags are
   /// statistically independent of the parent and each other.
   Rng fork(std::uint64_t tag);

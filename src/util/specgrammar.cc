@@ -100,16 +100,22 @@ std::vector<SpecClause> parse_compact_clauses(std::string_view spec,
     SpecClause c;
     const std::size_t at = raw.find('@');
     const std::size_t colon = raw.find(':');
-    if (at == std::string_view::npos || colon == std::string_view::npos ||
-        colon < at) {
+    if (at == std::string_view::npos ||
+        (colon != std::string_view::npos && colon < at)) {
       spec_error(err_prefix,
                  "clause '" + std::string(raw) +
-                     "' does not match kind@index:key=value[,key=value...]");
+                     "' does not match kind@index[:key=value,...]");
     }
+    const std::size_t index_end =
+        colon == std::string_view::npos ? raw.size() : colon;
     c.kind = std::string(spec_trim(raw.substr(0, at)));
-    c.index = spec_parse_index(spec_trim(raw.substr(at + 1, colon - at - 1)),
+    c.index = spec_parse_index(spec_trim(raw.substr(at + 1, index_end - at - 1)),
                                c.kind + " index", err_prefix);
-    std::string_view rest = raw.substr(colon + 1);
+    // A parameterless clause ("fattree@4") is legal; clause kinds with
+    // mandatory keys still fail loudly via SpecClause::require().
+    std::string_view rest =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : raw.substr(colon + 1);
     std::size_t kpos = 0;
     while (kpos <= rest.size()) {
       const std::size_t comma = std::min(rest.find(',', kpos), rest.size());
@@ -125,9 +131,6 @@ std::vector<SpecClause> parse_compact_clauses(std::string_view spec,
       c.kv.emplace_back(key, spec_parse_double(spec_trim(kv.substr(eq + 1)),
                                                c.kind + " " + key,
                                                err_prefix));
-    }
-    if (c.kv.empty()) {
-      spec_error(err_prefix, c.kind + " clause has no key=value pairs");
     }
     out.push_back(std::move(c));
   }

@@ -1,12 +1,14 @@
 // Shared compact clause grammar for declarative plan specs:
 //
 //   plan    := clause (';' clause)*
-//   clause  := kind '@' index ':' key '=' value (',' key '=' value)*
+//   clause  := kind '@' index [':' key '=' value (',' key '=' value)*]
 //
-// faults::FaultPlan ("ge@2:pb=0.3,...") and adversary::AdversaryPlan
-// ("stealth@4:margin=0.9") both parse through this helper, so the two
-// grammars stay lexically identical and their fuzz suites exercise the
-// same code. Every malformed clause throws std::invalid_argument with the
+// faults::FaultPlan ("ge@2:pb=0.3,...") , adversary::AdversaryPlan
+// ("stealth@4:margin=0.9"), and mesh::Topology ("fattree@8") all parse
+// through this helper, so the grammars stay lexically identical and
+// their fuzz suites exercise the same code. The key list may be empty
+// ("fattree@8"); kinds with mandatory keys reject that through
+// SpecClause::require(). Every malformed clause throws std::invalid_argument with the
 // caller's prefix and a pointed message — specs must fail loudly, never
 // silently produce nonsense.
 #pragma once

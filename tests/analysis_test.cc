@@ -107,6 +107,25 @@ TEST(Bounds, StorageBoundsMatchTable1) {
   EXPECT_LT(storage_paai1(p).worst, storage_fullack(p).worst / 3.0);
 }
 
+TEST(Bounds, Corollary2SpreadVersusConcentrated) {
+  Params p = reference();
+  p.alpha = 0.2;
+  // Spread grows linearly; concentrated compounds and saturates.
+  EXPECT_NEAR(optimal_spread_total(4, p), 0.8, 1e-12);
+  EXPECT_NEAR(concentrated_total(4, p), 1.0 - std::pow(0.8, 4), 1e-12);
+  EXPECT_NEAR(spread_advantage(4, p),
+              0.8 - (1.0 - std::pow(0.8, 4)), 1e-12);
+  // Degenerate budgets: with z <= 1 links there is nothing to spread.
+  EXPECT_NEAR(spread_advantage(0, p), 0.0, 1e-12);
+  EXPECT_NEAR(spread_advantage(1, p), 0.0, 1e-12);
+  // The gap widens with the budget, ~alpha^2 z(z-1)/2 for small z*alpha.
+  EXPECT_LT(spread_advantage(2, p), spread_advantage(3, p));
+  EXPECT_LT(spread_advantage(3, p), spread_advantage(4, p));
+  Params small = reference();  // alpha = 0.03
+  EXPECT_NEAR(spread_advantage(3, small),
+              small.alpha * small.alpha * 3.0, 3e-4);
+}
+
 TEST(Bounds, DetectionRateOrderingAcrossProtocols) {
   const Params p = reference();
   EXPECT_LT(tau_fullack(p), tau_paai1(p));

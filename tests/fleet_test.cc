@@ -1,6 +1,12 @@
 // Fleet-runner tests (Corollary 2 infrastructure): baseline measurement,
-// per-path outcome classification, and damage aggregation.
+// per-path outcome classification, and damage aggregation. run_fleet is
+// now the degenerate (link-disjoint) case of the mesh runner, so the last
+// test replays the historical serial implementation inline and demands
+// bit-identical numbers.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "runner/fleet.h"
 
@@ -54,6 +60,84 @@ TEST(Fleet, DamageAddsAcrossPaths) {
   const double d1 = run_fleet(one).total_damage;
   const double d3 = run_fleet(three).total_damage;
   EXPECT_NEAR(d3, 3.0 * d1, 0.03);
+}
+
+/// The pre-mesh run_fleet, verbatim but serial: clean baseline seeded
+/// seed0, path i seeded seed0 + 1 + i, damage folded in path order.
+FleetResult legacy_run_fleet(const FleetConfig& config) {
+  FleetResult result;
+  {
+    ExperimentConfig clean = config.base;
+    clean.link_faults.clear();
+    clean.adversaries.clear();
+    clean.path.seed = config.seed0;
+    result.baseline_delivery = run_experiment(clean).ground_truth_delivery;
+  }
+  for (std::size_t i = 0; i < config.paths.size(); ++i) {
+    ExperimentConfig cfg = config.base;
+    cfg.link_faults = config.paths[i];
+    cfg.path.seed = config.seed0 + 1 + i;
+    const ExperimentResult run = run_experiment(cfg);
+
+    FleetResult::PathOutcome outcome;
+    outcome.ground_truth_delivery = run.ground_truth_delivery;
+    outcome.observed_e2e_rate = run.observed_e2e_rate;
+    outcome.convicted = run.final_convicted;
+    for (const auto& fault : config.paths[i]) {
+      outcome.malicious.push_back(fault.link);
+    }
+    std::sort(outcome.malicious.begin(), outcome.malicious.end());
+    outcome.all_malicious_convicted = true;
+    for (const std::size_t link : outcome.malicious) {
+      if (std::find(outcome.convicted.begin(), outcome.convicted.end(),
+                    link) == outcome.convicted.end()) {
+        outcome.all_malicious_convicted = false;
+      }
+    }
+    for (const std::size_t link : outcome.convicted) {
+      if (std::find(outcome.malicious.begin(), outcome.malicious.end(),
+                    link) == outcome.malicious.end()) {
+        outcome.any_honest_convicted = true;
+      }
+    }
+    result.total_damage += std::max(
+        0.0, result.baseline_delivery - outcome.ground_truth_delivery);
+    result.paths.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+TEST(Fleet, MeshBackedFleetReproducesLegacyNumbersBitForBit) {
+  FleetConfig cfg;
+  cfg.base = paper_config(protocols::ProtocolKind::kPaai1, 15000, 0);
+  cfg.base.link_faults.clear();
+  cfg.base.params.probe_probability = 1.0 / 9.0;
+  cfg.base.params.send_rate_pps = 1000.0;
+  cfg.paths = {{LinkFault{4, 0.05}},
+               {},
+               {LinkFault{2, 0.04}, LinkFault{4, 0.05}}};
+  cfg.seed0 = 9000;
+
+  const FleetResult want = legacy_run_fleet(cfg);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    cfg.jobs = jobs;
+    const FleetResult got = run_fleet(cfg);
+    EXPECT_EQ(got.baseline_delivery, want.baseline_delivery);  // bit-exact
+    EXPECT_EQ(got.total_damage, want.total_damage);
+    ASSERT_EQ(got.paths.size(), want.paths.size());
+    for (std::size_t i = 0; i < want.paths.size(); ++i) {
+      EXPECT_EQ(got.paths[i].ground_truth_delivery,
+                want.paths[i].ground_truth_delivery);
+      EXPECT_EQ(got.paths[i].observed_e2e_rate,
+                want.paths[i].observed_e2e_rate);
+      EXPECT_EQ(got.paths[i].convicted, want.paths[i].convicted);
+      EXPECT_EQ(got.paths[i].malicious, want.paths[i].malicious);
+      EXPECT_EQ(got.paths[i].all_malicious_convicted,
+                want.paths[i].all_malicious_convicted);
+      EXPECT_EQ(got.paths[i].any_honest_convicted,
+                want.paths[i].any_honest_convicted);
+    }
+  }
 }
 
 }  // namespace

@@ -50,6 +50,7 @@ SPECS=(
   "bench_ablation:bench_ablation:--scale=10 --runs=6"
   "bench_micro:bench_micro:--benchmark_filter=BM_CounterAdd|BM_HistogramObserve|BM_EventLogAppend|BM_Sha256|BM_EventQueue"
   "bench_stream:bench_stream:--scale=25 --runs=3"
+  "bench_mesh:bench_mesh:--scale=2"
 )
 
 # --full: every bench binary at paper scale (figure defaults; run counts
@@ -72,6 +73,7 @@ if [[ $FULL -eq 1 ]]; then
     "bench_sec9_tradeoff:bench_sec9_tradeoff:"
     "bench_micro:bench_micro:"
     "bench_stream:bench_stream:"
+    "bench_mesh:bench_mesh:"
   )
 fi
 

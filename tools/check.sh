@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Sanitizer checks, two legs, plus the bench_diff self-check:
 #
-#   1. ThreadSanitizer — exec + runner + fleet + obs + faults test suites.
-#      Catches data races in the parallel execution engine (src/exec), in
-#      anything run_experiment touches, and in the lock-free metrics/tracer
+#   1. ThreadSanitizer — exec + runner + fleet + mesh + obs + faults test
+#      suites. Catches data races in the parallel execution engine
+#      (src/exec), in anything run_experiment touches, in the mesh
+#      runner's sharded score accumulation (src/mesh), and in the
+#      lock-free metrics/tracer
 #      shards (src/obs) that runs write concurrently. faults_test runs the
 #      injector's schedule machinery and crash hooks under the Monte-Carlo
 #      fan-out (BitIdenticalAcrossJobs). The other half of the determinism
@@ -35,6 +37,13 @@
 #      localise in-window drops; PAAI-1's blame-to-first-failing-hop
 #      heuristic measurably under-attributes here (bench_robustness C).
 #
+#   6. serve-mode smoke — stream engine replay + snapshot/restore.
+#
+#   7. mesh smoke — a compromised fat-tree core straddling ~100 paths per
+#      out-link; the aggregated cross-path score store (paai mesh) must
+#      convict exactly the core's out-links with witness provenance and
+#      exonerate every honest link.
+#
 # Usage: tools/check.sh [tsan-build-dir [asan-build-dir]]
 #        (defaults: build-tsan build-asan)
 set -euo pipefail
@@ -46,13 +55,14 @@ CHAOS_FILTER="--gtest_filter=-*ChaosPaperScale*"
 
 echo "== leg 1: ThreadSanitizer =="
 cmake -B "$TSAN_DIR" -S . -DPAAI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_DIR" --target exec_test runner_test fleet_test obs_test faults_test -j "$(nproc)"
+cmake --build "$TSAN_DIR" --target exec_test runner_test fleet_test mesh_test obs_test faults_test -j "$(nproc)"
 
 # TSAN_OPTIONS makes races hard failures rather than log noise.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$TSAN_DIR/tests/exec_test"
 "$TSAN_DIR/tests/runner_test"
 "$TSAN_DIR/tests/fleet_test"
+"$TSAN_DIR/tests/mesh_test"
 "$TSAN_DIR/tests/obs_test"
 "$TSAN_DIR/tests/faults_test" "$CHAOS_FILTER"
 
@@ -81,6 +91,12 @@ echo "== leg 3: bench_diff =="
 # measure the machine (like bench_micro), so both are ignored.
 "$ASAN_DIR/tools/bench_diff" --ignore=bench_micro --ignore=bench_stream \
     BENCH_pr6.json BENCH_pr7.json
+# pr7 -> pr8 adds the bench_mesh section (one-sided benches diff as
+# notes); bench_mesh's paths/s throughput measures the machine, so it
+# joins the ignore list alongside the other timing benches.
+"$ASAN_DIR/tools/bench_diff" --ignore=bench_micro --ignore=bench_stream \
+    --ignore=bench_mesh BENCH_pr7.json BENCH_pr8.json
+"$ASAN_DIR/tools/bench_diff" BENCH_pr8.json BENCH_pr8.json
 
 echo "== leg 4: forensics smoke (paai run --events-out -> paai explain) =="
 cmake --build "$ASAN_DIR" --target paai -j "$(nproc)"
@@ -156,4 +172,34 @@ grep -q "verify: OK" "$SMOKE_DIR/replay_resumed.stdout" || {
   exit 1
 }
 
-echo "check.sh: TSan (exec/runner/fleet/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean, serve smoke clean"
+echo "== leg 7: mesh smoke (fat-tree colluder convicted from cross-path evidence) =="
+# A compromised core switch (node 0) straddles ~100 paths per out-link on
+# a k=4 fat-tree; the aggregated score store must convict exactly its
+# out-links — [malicious] lines with witness-path provenance — and never
+# an honest link. Exit status enforces zero missed / zero false. The TSan
+# leg above already runs mesh_test (sharded store + jobs bit-identity).
+"$ASAN_DIR/tools/paai" mesh --topo=fattree@4 --paths=2000 --units=1500 \
+    --adversary='uniform@0:rate=0.05' --threshold=0.02 --seed=9000 \
+    --metrics-out="$SMOKE_DIR/mesh.json" > "$SMOKE_DIR/mesh.stdout" || {
+  echo "leg 7 FAILED: paai mesh exited nonzero (missed or false conviction):" >&2
+  cat "$SMOKE_DIR/mesh.stdout" >&2
+  exit 1
+}
+grep -q 'CONVICTED l_.* \[malicious\]' "$SMOKE_DIR/mesh.stdout" || {
+  echo "leg 7 FAILED: no malicious link convicted:" >&2
+  cat "$SMOKE_DIR/mesh.stdout" >&2
+  exit 1
+}
+if grep -q '\[HONEST\]' "$SMOKE_DIR/mesh.stdout"; then
+  echo "leg 7 FAILED: honest link falsely convicted:" >&2
+  cat "$SMOKE_DIR/mesh.stdout" >&2
+  exit 1
+fi
+grep -q 'witnesses=p' "$SMOKE_DIR/mesh.stdout" || {
+  echo "leg 7 FAILED: conviction lines carry no witness provenance" >&2
+  exit 1
+}
+# The emitted paai.bench.v1 report must be valid (self-diff is clean).
+"$ASAN_DIR/tools/bench_diff" "$SMOKE_DIR/mesh.json" "$SMOKE_DIR/mesh.json"
+
+echo "check.sh: TSan (exec/runner/fleet/mesh/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean, serve smoke clean, mesh smoke clean"

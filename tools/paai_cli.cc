@@ -3,6 +3,10 @@
 //   paai run     [options]  run one experiment and print the verdict
 //   paai curve   [options]  Monte-Carlo FP/FN curve over packet counts
 //   paai bounds  [options]  evaluate the §7 closed forms
+//   paai mesh    [options]  many paths over one shared topology (--topo
+//                           grammar, docs/MESH.md); links are convicted
+//                           from the cross-path union of evidence and
+//                           printed with witness-path provenance
 //   paai explain FILE       replay a forensic event log (JSONL, written by
 //                           --events-out) into a conviction audit trail
 //   paai serve   [options]  online scoring service: consume a JSONL event
@@ -88,6 +92,7 @@
 #include "analysis/bounds.h"
 #include "bench/bench_common.h"
 #include "faults/plan.h"
+#include "mesh/runner.h"
 #include "util/specgrammar.h"
 #include "obs/events.h"
 #include "obs/forensics.h"
@@ -577,6 +582,137 @@ int cmd_replay(int argc, char** argv) {
   return convicted.empty() ? 1 : 0;
 }
 
+int cmd_mesh(int argc, char** argv) {
+  bench::BenchSession session("paai.mesh", argc, argv);
+  mesh::MeshConfig cfg;
+  cfg.topo = mesh::Topology::parse(
+      get_opt(argc, argv, "topo").value_or("fattree@8"));
+  const auto n_paths =
+      std::stoul(get_opt(argc, argv, "paths").value_or("10000"));
+  const std::string engine = get_opt(argc, argv, "engine").value_or("stat");
+  if (engine == "stat") {
+    cfg.engine = mesh::MeshEngine::kStat;
+  } else if (engine == "packet") {
+    cfg.engine = mesh::MeshEngine::kPacket;
+  } else {
+    throw CliError{"--engine wants 'stat' or 'packet', got '" + engine +
+                   "'"};
+  }
+  cfg.units_per_path =
+      std::stoull(get_opt(argc, argv, "units").value_or("2000"));
+  cfg.rounds = std::stoul(get_opt(argc, argv, "rounds").value_or("8"));
+  cfg.natural_loss = std::stod(get_opt(argc, argv, "rho").value_or("0.01"));
+  cfg.decision_threshold =
+      std::stod(get_opt(argc, argv, "threshold").value_or("0.02"));
+  cfg.seed0 = std::stoull(get_opt(argc, argv, "seed").value_or("9000"));
+  cfg.jobs = std::stoul(get_opt(argc, argv, "jobs").value_or("0"));
+  // Mesh-indexed plans: --fault takes MESH-LINK:RATE, --adversary /
+  // --faults take the shared plan grammars with mesh node/link indices.
+  for (const auto& f : get_all(argc, argv, "fault")) {
+    const auto colon = f.find(':');
+    if (colon == std::string::npos) {
+      throw CliError{"--fault wants LINK:RATE, got '" + f + "'"};
+    }
+    cfg.link_faults.push_back(
+        mesh::MeshLinkFault{std::stoul(f.substr(0, colon)),
+                            std::stod(f.substr(colon + 1))});
+  }
+  for (const auto& a : get_all(argc, argv, "adversary")) {
+    const std::string_view t = util::spec_trim(a);
+    if (!t.empty() &&
+        (t.find('@') != std::string_view::npos || t.front() == '[' ||
+         t.front() == '{')) {
+      const auto plan = adversary::AdversaryPlan::parse(a);
+      cfg.adversaries.specs.insert(cfg.adversaries.specs.end(),
+                                   plan.specs.begin(), plan.specs.end());
+    } else {
+      cfg.adversaries.specs.push_back(parse_legacy_adversary(a));
+    }
+  }
+  if (const auto spec = get_opt(argc, argv, "faults")) {
+    cfg.faults = faults::FaultPlan::parse(*spec);
+  }
+  if (cfg.engine == mesh::MeshEngine::kPacket) {
+    cfg.packet_base = paper_config(
+        parse_protocol(get_opt(argc, argv, "protocol").value_or("paai1")),
+        std::stoull(get_opt(argc, argv, "packets").value_or("20000")), 0);
+    cfg.packet_base.link_faults.clear();
+    cfg.packet_base.path.natural_loss = cfg.natural_loss;
+    cfg.packet_base.decision_threshold = cfg.decision_threshold;
+  }
+  cfg.paths = cfg.topo.enumerate_paths(n_paths, /*seed=*/7);
+
+  std::fprintf(stderr,
+               "mesh: %s — %zu paths x %llu units, engine=%s, jobs=%zu...\n",
+               cfg.topo.to_string().c_str(), cfg.paths.size(),
+               static_cast<unsigned long long>(cfg.units_per_path),
+               engine.c_str(), cfg.jobs);
+  const mesh::MeshResult r = mesh::run_mesh(cfg);
+
+  Table table({"link", "edge", "paths", "units", "theta", "solo",
+               "detect_units", "verdict"});
+  for (std::size_t l = 0; l < r.links.size(); ++l) {
+    const auto& row = r.links[l];
+    if (!row.convicted && !row.malicious && row.blames == 0) continue;
+    table.row()
+        .cell("l_" + std::to_string(l))
+        .cell(std::to_string(cfg.topo.link(l).from) + "->" +
+              std::to_string(cfg.topo.link(l).to))
+        .integer(static_cast<long long>(row.paths))
+        .integer(static_cast<long long>(row.units))
+        .num(row.theta, 4)
+        .integer(static_cast<long long>(row.solo_convictions))
+        .integer(static_cast<long long>(row.first_convicted_units))
+        .cell(row.convicted ? (row.malicious ? "CONVICTED" : "FALSELY "
+                                                             "CONVICTED")
+                            : (row.malicious ? "missed" : ""));
+  }
+  table.print(std::cout, has_flag(argc, argv, "--csv"));
+
+  // Conviction lines with provenance (the smoke legs grep these).
+  for (const std::size_t l : r.convicted) {
+    const auto& row = r.links[l];
+    std::string witnesses;
+    for (const std::uint32_t p : row.witnesses) {
+      witnesses += (witnesses.empty() ? "p" : ",p") + std::to_string(p);
+    }
+    std::printf("CONVICTED l_%zu (%u->%u) [%s] theta=%.4f "
+                "witnesses=%s\n",
+                l, static_cast<unsigned>(cfg.topo.link(l).from),
+                static_cast<unsigned>(cfg.topo.link(l).to),
+                row.malicious ? "malicious" : "HONEST", row.theta,
+                witnesses.c_str());
+  }
+  std::printf("\npaths: %zu   units: %llu   damage: %.4f   "
+              "convicted: %zu/%zu malicious   false accusations: %zu\n",
+              r.paths, static_cast<unsigned long long>(r.total_units),
+              r.total_damage,
+              r.malicious_links.size() - r.missed_malicious,
+              r.malicious_links.size(), r.false_accusations);
+  std::printf("score store: %zu B (+%zu B/worker shard) over %zu links\n",
+              r.store_bytes, r.shard_bytes, cfg.topo.num_links());
+
+  session.info("topology", cfg.topo.to_string());
+  if (!cfg.adversaries.empty()) {
+    session.info("adversary", cfg.adversaries.to_string());
+  }
+  if (!cfg.faults.empty()) session.info("faults", cfg.faults.to_string());
+  session.metric("mesh.links", static_cast<double>(cfg.topo.num_links()));
+  session.metric("mesh.paths", static_cast<double>(r.paths));
+  session.metric("mesh.convicted", static_cast<double>(r.convicted.size()));
+  session.metric("mesh.false_accusations",
+                 static_cast<double>(r.false_accusations));
+  session.metric("mesh.missed_malicious",
+                 static_cast<double>(r.missed_malicious));
+  session.metric("mesh.total_damage", r.total_damage);
+  session.metric("mesh.detection_units_p50", r.detection_units_p50);
+  session.metric("mesh.store_bytes", static_cast<double>(r.store_bytes));
+  session.exec(r.exec);
+
+  if (r.false_accusations != 0) return 1;
+  return r.missed_malicious == 0 ? 0 : 1;
+}
+
 int cmd_bounds(int argc, char** argv) {
   analysis::Params p;
   p.d = std::stoul(get_opt(argc, argv, "d").value_or("6"));
@@ -614,6 +750,14 @@ void usage() {
       "[--csv]\n"
       "            [--metrics-out=FILE] [--trace-out=FILE]\n"
       "            [--events-out=FILE] [--events-cap=N] [--blame=MODE]\n"
+      "       paai mesh   [--topo=SPEC] [--paths=N] [--engine=stat|packet]\n"
+      "                   [--units=N] [--rounds=N] [--rho=X] "
+      "[--threshold=X]\n"
+      "                   [--fault=MESHLINK:RATE]... [--adversary=SPEC]...\n"
+      "                   [--faults=SPEC] [--seed=N] [--jobs=N] [--csv]\n"
+      "                            many paths over one shared topology;\n"
+      "                            convicts from cross-path evidence\n"
+      "                            (topology grammar in docs/MESH.md)\n"
       "       paai explain FILE    audit trail from an --events-out log\n"
       "       paai serve  [--in=PATH|-] [--state-in=F] [--state-out=F]\n"
       "                   [--snapshot-every=N] [--skip-malformed]\n"
@@ -639,6 +783,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc, argv);
     if (cmd == "curve") return cmd_curve(argc, argv);
     if (cmd == "bounds") return cmd_bounds(argc, argv);
+    if (cmd == "mesh") return cmd_mesh(argc, argv);
     if (cmd == "explain") return cmd_explain(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "replay") return cmd_replay(argc, argv);
