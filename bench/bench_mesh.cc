@@ -18,7 +18,9 @@
 // big run spends any time.
 //
 // Extra flags beyond bench_common's: --topo=SPEC (topology grammar, see
-// docs/MESH.md), --paths=N, --units=N, --rounds=N.
+// docs/MESH.md), --paths=N, --units=N, --rounds=N, --blame=MODE
+// (conviction rule over the merged evidence — docs/DETECTORS.md; rounds
+// are the mesh's windows, so windowed/hybrid W is ignored).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
       flag_or_env(argc, argv, "--rounds", "PAAI_MESH_ROUNDS", 8));
   cfg.natural_loss = 0.01;
   cfg.decision_threshold = 0.02;
+  cfg.blame = protocols::BlameSpec::parse(
+      flag_str(argc, argv, "--blame").value_or("margin"));
   // Default adversary: one compromised core straddling a large share of
   // the inter-pod paths — the cross-path union scenario.
   cfg.adversaries = args.adversaries.empty()
@@ -147,6 +151,7 @@ int main(int argc, char** argv) {
   session.arg("units_per_path", static_cast<long long>(cfg.units_per_path));
   session.info("topology", cfg.topo.to_string());
   session.info("adversary", cfg.adversaries.to_string());
+  session.info("blame", cfg.blame.to_string());
   // Deterministic metrics (diffable across machines).
   session.metric("mesh.links", static_cast<double>(cfg.topo.num_links()));
   session.metric("mesh.total_units", static_cast<double>(r.total_units));

@@ -204,27 +204,38 @@ int main(int argc, char** argv) {
   };
   Table c({"strategy", "protocol", "true_l4_loss", "est_theta4",
            "undetected", "fp", "detect_pkts"});
-  // Each point runs the three reference protocols; colluder points add a
-  // PAAI-1 row with persistence-gated blame (--blame=persistent, K = 3):
-  // colluders hide inside benign burst windows, so requiring K repeated
-  // first-failing-hop observations before conviction is exactly the
-  // option's target scenario — this is the frontier row it moves.
+  // Each point runs the three reference protocols; colluder points add
+  // PAAI-1 rows under the multi-level blame modes (docs/DETECTORS.md):
+  //   persistent:3  — K repeated first-failing-hop observations;
+  //   windowed:192  — flagrant-window clause only. An expected NEGATIVE
+  //                   result: PAAI-1 samples ~1/36 of packets, so a
+  //                   GE-cover burst never fills a 192-unit window past
+  //                   the flagrant bar — the row documents why windowed
+  //                   alone cannot catch a fault-colluder at this rate;
+  //   hybrid:4,192  — adds the hot-window streak clause gated on the
+  //                   cumulative floor; the sustained r=1 colluder keeps
+  //                   >= 4 consecutive hot windows while honest churn
+  //                   cannot, so this row is the one that convicts.
   struct Contender {
     protocols::ProtocolKind kind;
-    std::uint64_t persistence;
-    const char* name;  // nullptr = protocol_name(kind)
+    const char* blame;  // BlameSpec grammar ("" = margin)
+    const char* name;   // nullptr = protocol_name(kind)
   };
   for (const auto& point : frontier) {
     const adversary::AdversaryPlan plan =
         adversary::AdversaryPlan::parse(point.spec);
     std::vector<Contender> contenders = {
-        {protocols::ProtocolKind::kFullAck, 0, nullptr},
-        {protocols::ProtocolKind::kPaai1, 0, nullptr},
-        {protocols::ProtocolKind::kPaai2, 0, nullptr},
+        {protocols::ProtocolKind::kFullAck, "", nullptr},
+        {protocols::ProtocolKind::kPaai1, "", nullptr},
+        {protocols::ProtocolKind::kPaai2, "", nullptr},
     };
     if (std::string(point.label).rfind("collude", 0) == 0) {
-      contenders.push_back(
-          {protocols::ProtocolKind::kPaai1, 3, "paai1-persistent"});
+      contenders.push_back({protocols::ProtocolKind::kPaai1, "persistent:3",
+                            "paai1-persistent"});
+      contenders.push_back({protocols::ProtocolKind::kPaai1, "windowed:192",
+                            "paai1-windowed"});
+      contenders.push_back({protocols::ProtocolKind::kPaai1, "hybrid:4,192",
+                            "paai1-hybrid"});
     }
     for (const auto& contender : contenders) {
       const auto kind = contender.kind;
@@ -232,7 +243,9 @@ int main(int argc, char** argv) {
                                          : protocols::protocol_name(kind);
       MonteCarloConfig mc;
       mc.base = paper_config(kind, packets, 0);
-      mc.base.params.blame_persistence = contender.persistence;
+      if (contender.blame[0] != '\0') {
+        mc.base.params.blame = protocols::BlameSpec::parse(contender.blame);
+      }
       mc.base.link_faults.clear();  // the strategy IS the adversary
       mc.base.adversaries = plan.specs;
       if (point.cover[0] != '\0') {

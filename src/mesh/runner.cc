@@ -214,26 +214,18 @@ MeshResult run_stat(const MeshConfig& config) {
 
   struct TileResult {
     ScoreShard shard;
-    std::vector<std::uint64_t> round_units;
-    std::vector<std::uint64_t> round_blames;
     double damage = 0.0;
     double baseline = 0.0;
-    TileResult(std::size_t links, std::size_t cells)
-        : shard(links), round_units(cells, 0), round_blames(cells, 0) {}
+    TileResult(std::size_t links, std::size_t rounds)
+        : shard(links, rounds) {}
   };
 
-  GlobalScoreStore store(num_links);
-  std::vector<std::uint64_t> round_units(rounds * num_links, 0);
-  std::vector<std::uint64_t> round_blames(rounds * num_links, 0);
+  GlobalScoreStore store(num_links, rounds);
   double total_damage = 0.0;
   double baseline_sum = 0.0;
   exec::OrderedReducer<TileResult> reducer(
       ranges.size(), [&](std::size_t, TileResult&& tile) {
         store.absorb(tile.shard);
-        for (std::size_t k = 0; k < round_units.size(); ++k) {
-          round_units[k] += tile.round_units[k];
-          round_blames[k] += tile.round_blames[k];
-        }
         total_damage += tile.damage;
         baseline_sum += tile.baseline;
       });
@@ -242,7 +234,7 @@ MeshResult run_stat(const MeshConfig& config) {
   result.exec = exec::parallel_for_each(
       ranges.size(),
       [&](std::size_t ti) {
-        TileResult tile(num_links, rounds * num_links);
+        TileResult tile(num_links, rounds);
         std::vector<std::uint64_t> path_units(config.paths.max_length(), 0);
         std::vector<std::uint64_t> path_blames(config.paths.max_length(), 0);
         for (std::size_t i = ranges[ti].first; i < ranges[ti].second; ++i) {
@@ -262,8 +254,7 @@ MeshResult run_stat(const MeshConfig& config) {
               const std::size_t l = pl[j];
               const std::uint64_t drops =
                   rng.binomial(reached, tables.total[r * num_links + l]);
-              tile.round_units[r * num_links + l] += slice[r];
-              tile.round_blames[r * num_links + l] += drops;
+              tile.shard.add_window(l, r, slice[r], drops);
               path_units[j] += slice[r];
               path_blames[j] += drops;
               reached -= drops;
@@ -296,8 +287,7 @@ MeshResult run_stat(const MeshConfig& config) {
   result.baseline_delivery =
       num_paths > 0 ? baseline_sum / static_cast<double>(num_paths) : 0.0;
   result.store_bytes = store.memory_bytes();
-  result.shard_bytes = ScoreShard::bytes_for(num_links) +
-                       2 * rounds * num_links * sizeof(std::uint64_t);
+  result.shard_bytes = ScoreShard::bytes_for(num_links, rounds);
 
   result.links.resize(num_links);
   std::vector<double> detection;
@@ -308,17 +298,16 @@ MeshResult run_stat(const MeshConfig& config) {
     row.paths = store.paths(l);
     row.solo_convictions = store.solo_convictions(l);
     row.theta = store.theta(l);
-    row.convicted = store.convicts(l, config.decision_threshold);
+    row.convicted =
+        store.convicts(l, config.decision_threshold, config.blame);
     row.malicious = malicious[l] != 0;
     row.witnesses = store.witnesses(l);
     // Replay the cumulative checkpoint schedule to find the first round
-    // whose aggregated evidence convicts — the detection-latency axis.
-    std::uint64_t units = 0;
-    std::uint64_t blames = 0;
+    // prefix whose aggregated evidence convicts under the configured
+    // blame rule — the detection-latency axis.
     for (std::size_t r = 0; r < rounds; ++r) {
-      units += round_units[r * num_links + l];
-      blames += round_blames[r * num_links + l];
-      if (evidence_convicts(units, blames, config.decision_threshold)) {
+      if (store.convicts(l, config.decision_threshold, config.blame,
+                         r + 1)) {
         row.first_convicted_units = cum_units[r];
         break;
       }
@@ -403,6 +392,9 @@ MeshResult run_packet(const MeshConfig& config) {
         for (std::size_t j = 0; j < ev.blames.size(); ++j) {
           shard.add(pl[j], ev.units, ev.blames[j],
                     static_cast<std::uint32_t>(i), ev.solo[j] != 0);
+          // Single checkpoint at the full horizon: all window evidence
+          // lands in round 0 so the blame rules degenerate gracefully.
+          shard.add_window(pl[j], 0, ev.units, ev.blames[j]);
         }
         total_units += ev.units;
         result.path_outcomes.push_back(std::move(ev.outcome));
@@ -558,7 +550,8 @@ MeshResult run_packet(const MeshConfig& config) {
     row.paths = store.paths(l);
     row.solo_convictions = store.solo_convictions(l);
     row.theta = store.theta(l);
-    row.convicted = store.convicts(l, config.decision_threshold);
+    row.convicted =
+        store.convicts(l, config.decision_threshold, config.blame);
     row.malicious = malicious[l] != 0;
     row.witnesses = store.witnesses(l);
     if (row.convicted && row.paths > 0) {

@@ -83,6 +83,14 @@ struct MeshConfig {
   double natural_loss = 0.01;
   double decision_threshold = 0.02;
 
+  /// Conviction rule applied to the merged cross-path evidence
+  /// (protocols::BlameSpec — margin|persistent:K|windowed:W|hybrid:K,W).
+  /// The mesh's windows are the checkpoint rounds, so the spec's W is
+  /// ignored here; hybrid's streak K counts consecutive hot rounds. The
+  /// default (margin) reproduces the historical convicts() verdict
+  /// bit-identically.
+  protocols::BlameSpec blame;
+
   /// Compromised nodes (mesh node ids); each drops on all its outgoing
   /// links. Ground truth marks those links malicious.
   adversary::AdversaryPlan adversaries;

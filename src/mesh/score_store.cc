@@ -23,12 +23,15 @@ void witness_insert(std::uint32_t* window, std::uint32_t path) {
 
 }  // namespace
 
-ScoreShard::ScoreShard(std::size_t num_links)
-    : units_(num_links, 0),
+ScoreShard::ScoreShard(std::size_t num_links, std::size_t rounds)
+    : rounds_(rounds == 0 ? 1 : rounds),
+      units_(num_links, 0),
       blames_(num_links, 0),
       paths_(num_links, 0),
       solo_(num_links, 0),
-      witness_(num_links * kWitnessCap, kNoWitness) {
+      witness_(num_links * kWitnessCap, kNoWitness),
+      win_units_(num_links * rounds_, 0),
+      win_blames_(num_links * rounds_, 0) {
   if (num_links == 0) {
     throw std::invalid_argument("ScoreShard: need at least one link");
   }
@@ -45,17 +48,27 @@ void ScoreShard::add(std::size_t link, std::uint64_t units,
   }
 }
 
-std::size_t ScoreShard::bytes_for(std::size_t num_links) {
-  return num_links * (4 * sizeof(std::uint64_t) +
-                      kWitnessCap * sizeof(std::uint32_t));
+void ScoreShard::add_window(std::size_t link, std::size_t round,
+                            std::uint64_t units, std::uint64_t blames) {
+  win_units_[round * num_links() + link] += units;
+  win_blames_[round * num_links() + link] += blames;
 }
 
-GlobalScoreStore::GlobalScoreStore(std::size_t num_links)
-    : units_(num_links, 0),
+std::size_t ScoreShard::bytes_for(std::size_t num_links, std::size_t rounds) {
+  return num_links * (4 * sizeof(std::uint64_t) +
+                      kWitnessCap * sizeof(std::uint32_t)) +
+         num_links * (rounds == 0 ? 1 : rounds) * 2 * sizeof(std::uint64_t);
+}
+
+GlobalScoreStore::GlobalScoreStore(std::size_t num_links, std::size_t rounds)
+    : rounds_(rounds == 0 ? 1 : rounds),
+      units_(num_links, 0),
       blames_(num_links, 0),
       paths_(num_links, 0),
       solo_(num_links, 0),
-      witness_(num_links * kWitnessCap, kNoWitness) {
+      witness_(num_links * kWitnessCap, kNoWitness),
+      win_units_(num_links * rounds_, 0),
+      win_blames_(num_links * rounds_, 0) {
   if (num_links == 0) {
     throw std::invalid_argument("GlobalScoreStore: need at least one link");
   }
@@ -64,6 +77,9 @@ GlobalScoreStore::GlobalScoreStore(std::size_t num_links)
 void GlobalScoreStore::absorb(const ScoreShard& shard) {
   if (shard.num_links() != num_links()) {
     throw std::invalid_argument("GlobalScoreStore::absorb: link mismatch");
+  }
+  if (shard.rounds() != rounds_) {
+    throw std::invalid_argument("GlobalScoreStore::absorb: round mismatch");
   }
   for (std::size_t l = 0; l < units_.size(); ++l) {
     units_[l] += shard.units_[l];
@@ -76,6 +92,26 @@ void GlobalScoreStore::absorb(const ScoreShard& shard) {
       witness_insert(out, in[i]);
     }
   }
+  for (std::size_t k = 0; k < win_units_.size(); ++k) {
+    win_units_[k] += shard.win_units_[k];
+    win_blames_[k] += shard.win_blames_[k];
+  }
+}
+
+std::uint64_t GlobalScoreStore::units_through(
+    std::size_t link, std::size_t rounds_prefix) const {
+  std::uint64_t sum = 0;
+  const std::size_t n = std::min(rounds_prefix, rounds_);
+  for (std::size_t r = 0; r < n; ++r) sum += round_units(link, r);
+  return sum;
+}
+
+std::uint64_t GlobalScoreStore::blames_through(
+    std::size_t link, std::size_t rounds_prefix) const {
+  std::uint64_t sum = 0;
+  const std::size_t n = std::min(rounds_prefix, rounds_);
+  for (std::size_t r = 0; r < n; ++r) sum += round_blames(link, r);
+  return sum;
 }
 
 std::vector<std::uint32_t> GlobalScoreStore::witnesses(
@@ -94,13 +130,24 @@ double GlobalScoreStore::theta(std::size_t link) const {
          static_cast<double>(units_[link]);
 }
 
-bool GlobalScoreStore::convicts(std::size_t link, double threshold) const {
-  const std::uint64_t n_units = units_[link];
-  if (n_units == 0) return false;
-  const double n = static_cast<double>(n_units);
-  const double b = static_cast<double>(blames_[link]) / n;
+namespace {
+
+/// The one-standard-error margin rule on a raw (units, blames) pair —
+/// identical math to the two-argument convicts() and to
+/// protocols::ScoreTable's margin mode on the mesh's t = 1 evidence.
+bool margin_convicts(std::uint64_t units, std::uint64_t blames,
+                     double threshold) {
+  if (units == 0) return false;
+  const double n = static_cast<double>(units);
+  const double b = static_cast<double>(blames) / n;
   const double sd = std::sqrt(std::max(b, 1.0 / n) * (1.0 - b) / n);
   return b - sd > threshold;
+}
+
+}  // namespace
+
+bool GlobalScoreStore::convicts(std::size_t link, double threshold) const {
+  return margin_convicts(units_[link], blames_[link], threshold);
 }
 
 std::vector<std::size_t> GlobalScoreStore::convicted(
@@ -112,12 +159,77 @@ std::vector<std::size_t> GlobalScoreStore::convicted(
   return out;
 }
 
+bool GlobalScoreStore::convicts(std::size_t link, double threshold,
+                                const protocols::BlameSpec& blame,
+                                std::size_t rounds_prefix) const {
+  using Mode = protocols::BlameSpec::Mode;
+  const std::size_t prefix = std::min(rounds_prefix, rounds_);
+  const std::uint64_t cum_units = units_through(link, prefix);
+  const std::uint64_t cum_blames = blames_through(link, prefix);
+  if (cum_units == 0) return false;
+  const double cum_theta =
+      static_cast<double>(cum_blames) / static_cast<double>(cum_units);
+
+  switch (blame.mode) {
+    case Mode::kMargin:
+      return margin_convicts(cum_units, cum_blames, threshold);
+    case Mode::kPersistent:
+      // The chain rule's per-link blame tally maps onto the aggregated
+      // blame count: K independent blame observations above the raw
+      // threshold convict without waiting out the sd margin.
+      return cum_blames >= blame.k && cum_theta > threshold;
+    case Mode::kWindowed:
+    case Mode::kHybrid: {
+      if (margin_convicts(cum_units, cum_blames, threshold)) return true;
+      // Rounds are the windows: scan the prefix for flagrant rounds and
+      // the longest hot-round streak, same bars as the chain ledger.
+      bool flagrant = false;
+      std::size_t streak = 0;
+      std::size_t max_streak = 0;
+      for (std::size_t r = 0; r < prefix; ++r) {
+        const std::uint64_t ru = round_units(link, r);
+        if (ru == 0) {
+          streak = 0;
+          continue;
+        }
+        const double theta_r = static_cast<double>(round_blames(link, r)) /
+                               static_cast<double>(ru);
+        if (theta_r > protocols::kWindowFlagrantTheta) flagrant = true;
+        if (theta_r > protocols::kWindowHighTheta) {
+          ++streak;
+          max_streak = std::max(max_streak, streak);
+        } else {
+          streak = 0;
+        }
+      }
+      if (flagrant && cum_theta > threshold) return true;
+      if (blame.mode == Mode::kHybrid) {
+        return max_streak >= blame.k &&
+               cum_theta > protocols::kWindowHighTheta;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> GlobalScoreStore::convicted(
+    double threshold, const protocols::BlameSpec& blame) const {
+  std::vector<std::size_t> out;
+  for (std::size_t l = 0; l < units_.size(); ++l) {
+    if (convicts(l, threshold, blame)) out.push_back(l);
+  }
+  return out;
+}
+
 std::size_t GlobalScoreStore::memory_bytes() const {
   return units_.capacity() * sizeof(std::uint64_t) +
          blames_.capacity() * sizeof(std::uint64_t) +
          paths_.capacity() * sizeof(std::uint64_t) +
          solo_.capacity() * sizeof(std::uint64_t) +
-         witness_.capacity() * sizeof(std::uint32_t);
+         witness_.capacity() * sizeof(std::uint32_t) +
+         win_units_.capacity() * sizeof(std::uint64_t) +
+         win_blames_.capacity() * sizeof(std::uint64_t);
 }
 
 }  // namespace paai::mesh

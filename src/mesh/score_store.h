@@ -10,13 +10,25 @@
 // constraint (per-AS / per-switch accountability with O(links) state):
 //
 //   per link:  units (u64) + blames (u64) + paths (u64) + solo (u64) +
-//              kWitnessCap witness path ids (u32 each)
+//              kWitnessCap witness path ids (u32 each) +
+//              rounds x (units, blames) window counters (u64 each)
 //
 // and nothing else, regardless of how many paths are monitored. The
 // per-path witness sample is the *bounded* provenance: the kWitnessCap
 // smallest contributing path ids (smallest = deterministic under any
 // merge order), enough to answer "which paths convicted this link" in
 // the audit trail without an O(paths) side table.
+//
+// Windows: the mesh's time axis is the checkpoint-round schedule (all
+// paths advance together), so a "window" here IS a round — the chain
+// detectors' unit-count windows (protocols::WindowLedger) specialize to
+// the round grid. Evidence deltas are keyed by round index, making the
+// window counters u64 sums like everything else: a shard absorbed in any
+// order lands each delta in the same round cell, so the merged window
+// state commutes exactly. The multi-level conviction rules
+// (protocols::BlameSpec) evaluate post-merge over the round grid; the
+// spec's W parameter is ignored in the mesh (the round schedule fixes
+// the window width — documented in docs/DETECTORS.md).
 //
 // Sharding/determinism contract: workers accumulate into private
 // ScoreShard instances (one per in-flight tile of the path range) and the
@@ -31,6 +43,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "protocols/window.h"
+
 namespace paai::mesh {
 
 inline constexpr std::size_t kWitnessCap = 4;
@@ -41,7 +55,7 @@ inline constexpr std::uint32_t kNoWitness = 0xffffffffu;
 /// GlobalScoreStore::absorb.
 class ScoreShard {
  public:
-  explicit ScoreShard(std::size_t num_links);
+  explicit ScoreShard(std::size_t num_links, std::size_t rounds = 1);
 
   /// Folds one path's evidence for one link: `units` monitored units of
   /// which `blames` were blamed on the link. `path` feeds the bounded
@@ -52,35 +66,66 @@ class ScoreShard {
   void add(std::size_t link, std::uint64_t units, std::uint64_t blames,
            std::uint32_t path, bool solo);
 
+  /// Folds one path's evidence delta for one link *within one checkpoint
+  /// round* (the mesh's window). Keyed by round index so deltas from any
+  /// shard land in the same cell — u64 sums that commute under any
+  /// absorb order. Callers that add windows must cover the totals they
+  /// pass to add(): summing a link's window cells over all rounds yields
+  /// its cumulative (units, blames).
+  void add_window(std::size_t link, std::size_t round, std::uint64_t units,
+                  std::uint64_t blames);
+
   std::size_t num_links() const { return units_.size(); }
+  std::size_t rounds() const { return rounds_; }
 
   /// Heap bytes one shard pins while in flight.
-  static std::size_t bytes_for(std::size_t num_links);
+  static std::size_t bytes_for(std::size_t num_links, std::size_t rounds = 1);
 
  private:
   friend class GlobalScoreStore;
+  std::size_t rounds_;
   std::vector<std::uint64_t> units_;
   std::vector<std::uint64_t> blames_;
   std::vector<std::uint64_t> paths_;
   std::vector<std::uint64_t> solo_;
-  std::vector<std::uint32_t> witness_;  // num_links x kWitnessCap, sorted
+  std::vector<std::uint32_t> witness_;   // num_links x kWitnessCap, sorted
+  std::vector<std::uint64_t> win_units_;   // round-major, round * L + l
+  std::vector<std::uint64_t> win_blames_;  // round-major, round * L + l
 };
 
 class GlobalScoreStore {
  public:
-  explicit GlobalScoreStore(std::size_t num_links);
+  explicit GlobalScoreStore(std::size_t num_links, std::size_t rounds = 1);
 
   /// Merges a shard in (u64 sums + smallest-K witness merge). Shard link
-  /// count must match; throws std::invalid_argument otherwise.
+  /// and round counts must match; throws std::invalid_argument otherwise.
   void absorb(const ScoreShard& shard);
 
   std::size_t num_links() const { return units_.size(); }
+  std::size_t rounds() const { return rounds_; }
   std::uint64_t units(std::size_t link) const { return units_[link]; }
   std::uint64_t blames(std::size_t link) const { return blames_[link]; }
   std::uint64_t paths(std::size_t link) const { return paths_[link]; }
   std::uint64_t solo_convictions(std::size_t link) const {
     return solo_[link];
   }
+
+  /// Per-round window cells (round-major u64 sums over absorbed shards).
+  std::uint64_t round_units(std::size_t link, std::size_t round) const {
+    return win_units_[round * num_links() + link];
+  }
+  std::uint64_t round_blames(std::size_t link, std::size_t round) const {
+    return win_blames_[round * num_links() + link];
+  }
+
+  /// Cumulative window evidence over the first `rounds_prefix` rounds —
+  /// the checkpoint-scan axis. With a full prefix this equals
+  /// units()/blames() whenever every add() was mirrored by add_window()
+  /// calls covering the same totals.
+  std::uint64_t units_through(std::size_t link,
+                              std::size_t rounds_prefix) const;
+  std::uint64_t blames_through(std::size_t link,
+                               std::size_t rounds_prefix) const;
 
   /// Witness path ids for a link (ascending, at most kWitnessCap).
   std::vector<std::uint32_t> witnesses(std::size_t link) const;
@@ -98,16 +143,34 @@ class GlobalScoreStore {
   bool convicts(std::size_t link, double threshold) const;
   std::vector<std::size_t> convicted(double threshold) const;
 
+  /// Multi-level conviction rule (protocols::BlameSpec) evaluated over
+  /// the first `rounds_prefix` checkpoint rounds of window evidence
+  /// (default: all). Rounds are the mesh's windows; the spec's W is
+  /// ignored. Margin mode reproduces convicts() exactly when the window
+  /// cells cover the cumulative evidence; persistent:K requires >= K
+  /// cumulative blames above the raw threshold; windowed adds the
+  /// flagrant-round clause; hybrid adds the hot-round streak clause
+  /// (thresholds shared with the chain detectors: kWindowHighTheta /
+  /// kWindowFlagrantTheta).
+  bool convicts(std::size_t link, double threshold,
+                const protocols::BlameSpec& blame,
+                std::size_t rounds_prefix = ~std::size_t{0}) const;
+  std::vector<std::size_t> convicted(double threshold,
+                                     const protocols::BlameSpec& blame) const;
+
   /// Heap bytes of the aggregated store itself (the O(links) quantity the
   /// bench reports as memory per link).
   std::size_t memory_bytes() const;
 
  private:
+  std::size_t rounds_;
   std::vector<std::uint64_t> units_;
   std::vector<std::uint64_t> blames_;
   std::vector<std::uint64_t> paths_;
   std::vector<std::uint64_t> solo_;
   std::vector<std::uint32_t> witness_;
+  std::vector<std::uint64_t> win_units_;
+  std::vector<std::uint64_t> win_blames_;
 };
 
 }  // namespace paai::mesh

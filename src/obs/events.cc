@@ -187,23 +187,57 @@ bool parse_event_line(const std::string& line, Event* out,
 }  // namespace
 
 EventReader::Status EventReader::next(Event* out, std::string* error) {
-  while (std::getline(*is_, buf_)) {
+  const auto report = [&](const std::string& what) {
+    ++errors_;
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no_) + ": " + what;
+    }
+    return Status::kError;
+  };
+
+  for (;;) {
+    // Bounded read: never store more than kMaxLineBytes of one line, so a
+    // newline-free garbage stream cannot balloon the buffer.
+    buf_.clear();
+    bool terminated = false;
+    bool oversized = false;
+    std::streambuf* const sb = is_->rdbuf();
+    std::streambuf::int_type ch;
+    while ((ch = sb->sbumpc()) != std::streambuf::traits_type::eof()) {
+      if (ch == '\n') {
+        terminated = true;
+        break;
+      }
+      if (buf_.size() >= kMaxLineBytes) {
+        oversized = true;
+        // Skip (unstored) to the end of the offending line so the reader
+        // stays usable for count-and-continue callers.
+        while ((ch = sb->sbumpc()) != std::streambuf::traits_type::eof() &&
+               ch != '\n') {
+        }
+        break;
+      }
+      buf_.push_back(static_cast<char>(ch));
+    }
+    if (!terminated && !oversized && buf_.empty()) {
+      return Status::kEof;  // clean EOF: the last line had its newline
+    }
     ++line_no_;
+    if (oversized) {
+      return report("exceeds maximum line length (" +
+                    std::to_string(kMaxLineBytes) + " bytes)");
+    }
+    if (!terminated) {
+      // The stream died mid-line (pipe truncation, torn tail). The
+      // fragment may even parse as JSON; fail instead of trusting it.
+      return report("unterminated line (truncated stream?)");
+    }
     if (buf_.empty()) continue;
     std::string what;
-    if (!parse_event_line(buf_, out, &what)) {
-      ++errors_;
-      if (error != nullptr) {
-        *error = "line " + std::to_string(line_no_) + ": " + what;
-      }
-      return Status::kError;
-    }
+    if (!parse_event_line(buf_, out, &what)) return report(what);
     ++events_;
     return Status::kEvent;
   }
-  // A stream that died mid-line (pipe truncation) still surfaces the
-  // partial tail through getline, so reaching here is a clean EOF.
-  return Status::kEof;
 }
 
 std::vector<Event> EventLog::read_jsonl(std::istream& is, std::string* error) {

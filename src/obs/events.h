@@ -56,7 +56,9 @@ enum class EventKind : std::uint8_t {
   // node = source). Carries everything src/stream needs to reconstruct
   // the scoring state without out-of-band configuration.
   kRunConfig,     // a = ProtocolKind, b = path length d,
-                  // link = blame persistence K, v = decision threshold
+                  // link = blame-mode code (BlameSpec::encode32; 0 =
+                  // margin, bare K = persistent — the PR 7 wire format),
+                  // v = decision threshold
   // Statistical FL: one event per node when a reporting interval folds
   // into the accumulated counts (node = source, logged before the
   // interval's kScoreClean).
@@ -162,8 +164,19 @@ class EventLog {
 /// concatenated logs harmlessly). After kError the reader stays usable:
 /// next() moves past the offending line, so callers choose between
 /// fail-fast (serve's default) and count-and-continue.
+///
+/// Bounded buffering: lines are read character-by-character into a buffer
+/// capped at kMaxLineBytes (a well-formed event line is < 300 bytes, so
+/// 1 MiB is three orders of magnitude of headroom). An oversized line is
+/// a kError ("line N: exceeds maximum line length") and the rest of the
+/// line is discarded unstored — a newline-free garbage stream can no
+/// longer balloon the buffer to the stream's size. A stream that ends
+/// mid-line (pipe truncation, torn tail) is also a kError ("unterminated
+/// line") instead of being silently parsed as if complete.
 class EventReader {
  public:
+  /// Hard cap on one line's length; beyond it the line is malformed.
+  static constexpr std::size_t kMaxLineBytes = 1 << 20;
   enum class Status : std::uint8_t {
     kEvent,  // *out holds the next event
     kEof,    // clean end of stream

@@ -22,6 +22,7 @@
 #include "crypto/provider.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "protocols/window.h"
 #include "sim/network.h"
 #include "sim/time.h"
 
@@ -69,12 +70,11 @@ struct ProtocolParams {
   /// uplink on them. Costs O(d) bytes per probe.
   bool authenticated_probes = false;
 
-  /// --blame=persistent: when > 0, the ScoreTable-based identify phase
-  /// requires this many first-failing-hop observations of a link (in
-  /// addition to an above-threshold estimate) before convicting it,
-  /// instead of the one-standard-error margin. See
-  /// ScoreTable::set_persistence.
-  std::uint64_t blame_persistence = 0;
+  /// --blame: the conviction rule the identify phase applies — margin
+  /// (paper default), persistent:K (PR 7's repetition gate), or the
+  /// windowed/hybrid burst-aware rules (protocols/window.h). Threaded to
+  /// every score table via set_blame().
+  BlameSpec blame;
 
   // --- Ablation switches (INSECURE — for the design-choice benches) ---
 

@@ -74,7 +74,9 @@ Paai2Source::Paai2Source(const ProtocolContext& ctx, bool sampled_mode)
       score_(ctx.d()),
       pending_(nullptr),
       send_period_(static_cast<sim::SimDuration>(
-          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
+          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {
+  score_.set_blame(ctx.params().blame);
+}
 
 void Paai2Source::start() {
   pending_.attach(node(), ctx_.r0() / 2);

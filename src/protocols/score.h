@@ -27,6 +27,15 @@
 // (§6.2): theta_j = 1 - S_{j+1}/S_j over the counts folded in from each
 // reported interval.
 //
+// All three tables additionally keep a windowed view of the same axis
+// (protocols/window.h): every `W` monitored units they close a window,
+// compute that window's per-link sliding estimate theta_w, and feed it
+// into a WindowLedger. The ledger powers the windowed/hybrid conviction
+// rules behind --blame (BlameSpec) — burst-concentrated loss whose
+// cumulative trace rides inside the margin still shows up as hot or
+// flagrant windows. The ledger is maintained in every mode; margin-mode
+// verdicts never read it.
+//
 // All three tables are *stream-consumable*: every mutation corresponds
 // 1:1 to a forensic event the protocols log (obs/events.h), the counters
 // are exposed for snapshotting, and restore() rebuilds a table from a
@@ -39,6 +48,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "protocols/window.h"
 
 namespace paai::protocols {
 
@@ -68,43 +78,72 @@ class ScoreTable {
   std::uint64_t score(std::size_t link) const { return s_[link]; }
   std::uint64_t probes() const { return probes_; }
 
-  /// Persistence-based conviction (--blame=persistent): when K > 0, the
-  /// identify phase trades the one-standard-error margin for a
-  /// K-repetition requirement — a link is convicted once its estimate
-  /// clears the threshold AND it has been named first-failing hop at
-  /// least K times. Repetition is the anti-noise gate instead of the
-  /// margin, which catches adversaries whose estimate rides just inside
-  /// the margin (the bench_robustness collude-r10 frontier gap). 0 = off.
-  void set_persistence(std::uint64_t k) { persistence_ = k; }
-  std::uint64_t persistence() const { return persistence_; }
+  /// Selects the conviction rule (see BlameSpec in protocols/window.h).
+  /// Must be called before the first monitored unit when it changes the
+  /// window width; throws std::logic_error otherwise.
+  void set_blame(const BlameSpec& spec);
+  const BlameSpec& blame_spec() const { return blame_; }
+
+  /// Legacy shim for --blame=persistent:K (PR 7 call sites/tests):
+  /// K > 0 selects persistent mode, K == 0 margin mode.
+  void set_persistence(std::uint64_t k);
+  std::uint64_t persistence() const {
+    return blame_.mode == BlameSpec::Mode::kPersistent ? blame_.k : 0;
+  }
 
   /// Per-traversal drop-rate estimate for a link (0 when n == 0).
   double theta(std::size_t link) const;
   std::vector<double> thetas() const;
 
-  /// Links whose estimate exceeds the per-traversal decision threshold.
+  /// Links convicted under the configured blame rule.
   std::vector<std::size_t> convicted(double threshold) const;
 
   std::size_t num_links() const { return s_.size(); }
 
+  /// Windowed view: the ledger of closed windows, the current window's
+  /// per-link blame bins, and the burstiness statistic (max window
+  /// blame-share over cumulative share).
+  const WindowLedger& windows() const { return ledger_; }
+  const std::vector<std::uint64_t>& window_bins() const { return win_s_; }
+  std::uint64_t window_fill() const { return n_ % ledger_.width(); }
+  double burstiness(std::size_t link) const {
+    return ledger_.burstiness(link, theta(link));
+  }
+
   /// Rebuilds the mutable counters from a snapshot (paai.state.v1).
   /// `s.size()` must equal num_links(); throws std::invalid_argument
-  /// otherwise. Calibration (traversals/probe_extra/persistence) is
-  /// construction-time state and is not touched.
+  /// otherwise. Calibration (traversals/probe_extra/blame) is
+  /// construction-time state and is not touched. Window state is zeroed
+  /// (legacy snapshots carry none); restore_window() rebuilds it.
   void restore(const std::vector<std::uint64_t>& s, std::uint64_t n,
                std::uint64_t probes);
+
+  /// Rebuilds the window layer from a snapshot's "window" object: the
+  /// current window's blame bins plus the ledger counters. Call after
+  /// restore(); `bins.size()` must equal num_links().
+  void restore_window(const std::vector<std::uint64_t>& bins,
+                      std::uint64_t completed,
+                      const std::vector<std::uint64_t>& cur_streak,
+                      const std::vector<std::uint64_t>& max_streak,
+                      const std::vector<std::uint64_t>& flagrant,
+                      const std::vector<double>& max_theta_w,
+                      const std::vector<std::vector<double>>& recent);
 
   void reset();
 
  private:
   double effective_traversals() const;
+  bool margin_convicts(std::size_t link, double threshold) const;
+  void roll_window();
 
   std::vector<std::uint64_t> s_;
   std::uint64_t n_ = 0;
   std::uint64_t probes_ = 0;
-  std::uint64_t persistence_ = 0;
+  BlameSpec blame_;
   double traversals_;
   double probe_extra_;
+  std::vector<std::uint64_t> win_s_;  // current window's blame bins
+  WindowLedger ledger_;
   obs::Counter obs_updates_;
   obs::Counter obs_blames_;
 };
@@ -127,6 +166,10 @@ class Paai2ScoreTable {
   std::uint64_t selections(std::size_t e) const { return sel_n_[e]; }
   std::uint64_t selection_failures(std::size_t e) const { return sel_f_[e]; }
 
+  /// Selects the conviction rule; the probe count is the window axis.
+  void set_blame(const BlameSpec& spec);
+  const BlameSpec& blame_spec() const { return blame_; }
+
   /// Per-traversal per-link estimates via the prefix-difference estimator.
   std::vector<double> thetas() const;
 
@@ -139,22 +182,50 @@ class Paai2ScoreTable {
 
   std::size_t num_links() const { return s_.size(); }
 
+  const WindowLedger& windows() const { return ledger_; }
+  const std::vector<std::uint64_t>& window_sel_n() const { return win_sel_n_; }
+  const std::vector<std::uint64_t>& window_sel_f() const { return win_sel_f_; }
+  std::uint64_t window_fill() const { return probes_ % ledger_.width(); }
+  double burstiness(std::size_t link) const {
+    return ledger_.burstiness(link, thetas()[link]);
+  }
+
   /// Rebuilds the mutable counters from a snapshot (paai.state.v1).
   /// Vector sizes must match the construction shape; throws
-  /// std::invalid_argument otherwise.
+  /// std::invalid_argument otherwise. Window state is zeroed;
+  /// restore_window() rebuilds it.
   void restore(const std::vector<std::uint64_t>& s,
                const std::vector<std::uint64_t>& sel_n,
                const std::vector<std::uint64_t>& sel_f,
                std::uint64_t data_packets, std::uint64_t probes);
 
+  /// Rebuilds the window layer: current-window selection bins (both
+  /// sized num_links() + 1) plus the ledger counters.
+  void restore_window(const std::vector<std::uint64_t>& sel_n_bins,
+                      const std::vector<std::uint64_t>& sel_f_bins,
+                      std::uint64_t completed,
+                      const std::vector<std::uint64_t>& cur_streak,
+                      const std::vector<std::uint64_t>& max_streak,
+                      const std::vector<std::uint64_t>& flagrant,
+                      const std::vector<double>& max_theta_w,
+                      const std::vector<std::vector<double>>& recent);
+
   void reset();
 
  private:
+  bool margin_convicts(std::size_t link, double threshold,
+                       const std::vector<double>& th) const;
+  void roll_window();
+
   std::vector<std::uint64_t> s_;       // the paper's interval scores
   std::vector<std::uint64_t> sel_n_;   // probes with selection e   [1..d]
   std::vector<std::uint64_t> sel_f_;   // ... of which prefix-failed [1..d]
   std::uint64_t data_packets_ = 0;
   std::uint64_t probes_ = 0;
+  BlameSpec blame_;
+  std::vector<std::uint64_t> win_sel_n_;  // current window's bins [1..d]
+  std::vector<std::uint64_t> win_sel_f_;
+  WindowLedger ledger_;
   obs::Counter obs_updates_;
   obs::Counter obs_blames_;
 };
@@ -175,7 +246,7 @@ class FlScoreTable {
   void add_count(std::size_t node, std::uint64_t count);
 
   /// Marks a reporting interval folded in (after its d+1 add_count calls).
-  void interval_reported() { ++intervals_reported_; }
+  void interval_reported();
 
   /// Marks a reporting interval abandoned (report never arrived).
   void interval_lost() { ++intervals_lost_; }
@@ -184,6 +255,10 @@ class FlScoreTable {
   std::uint64_t intervals_reported() const { return intervals_reported_; }
   std::uint64_t intervals_lost() const { return intervals_lost_; }
   std::size_t num_links() const { return acc_.size() - 1; }
+
+  /// Selects the conviction rule; reported intervals are the window axis.
+  void set_blame(const BlameSpec& spec);
+  const BlameSpec& blame_spec() const { return blame_; }
 
   /// theta_j = max(0, 1 - S_{j+1}/S_j); 0 while S_j is empty.
   std::vector<double> thetas() const;
@@ -196,17 +271,44 @@ class FlScoreTable {
   /// 1 - S_d/S_0: the end-to-end drop rate the counts imply.
   double observed_e2e_rate() const;
 
+  const WindowLedger& windows() const { return ledger_; }
+  const std::vector<double>& window_counts() const { return win_acc_; }
+  std::uint64_t window_fill() const {
+    return intervals_reported_ % ledger_.width();
+  }
+  double burstiness(std::size_t link) const {
+    return ledger_.burstiness(link, thetas()[link]);
+  }
+
   /// Rebuilds the accumulators from a snapshot. `acc.size()` must be
-  /// num_links() + 1; throws std::invalid_argument otherwise.
+  /// num_links() + 1; throws std::invalid_argument otherwise. Window
+  /// state is zeroed; restore_window() rebuilds it.
   void restore(const std::vector<double>& acc,
                std::uint64_t intervals_reported, std::uint64_t intervals_lost);
+
+  /// Rebuilds the window layer: current-window per-node count sums
+  /// (sized num_links() + 1) plus the ledger counters.
+  void restore_window(const std::vector<double>& counts,
+                      std::uint64_t completed,
+                      const std::vector<std::uint64_t>& cur_streak,
+                      const std::vector<std::uint64_t>& max_streak,
+                      const std::vector<std::uint64_t>& flagrant,
+                      const std::vector<double>& max_theta_w,
+                      const std::vector<std::vector<double>>& recent);
 
   void reset();
 
  private:
+  bool margin_convicts(std::size_t link, double threshold,
+                       const std::vector<double>& th) const;
+  void roll_window();
+
   std::vector<double> acc_;  // S_0..S_d, indexed by node
   std::uint64_t intervals_reported_ = 0;
   std::uint64_t intervals_lost_ = 0;
+  BlameSpec blame_;
+  std::vector<double> win_acc_;  // current window's per-node count sums
+  WindowLedger ledger_;
 };
 
 }  // namespace paai::protocols

@@ -74,7 +74,7 @@ SigAckSource::SigAckSource(const ProtocolContext& ctx)
       pending_(nullptr),
       send_period_(static_cast<sim::SimDuration>(
           static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {
-  score_.set_persistence(ctx.params().blame_persistence);
+  score_.set_blame(ctx.params().blame);
 }
 
 void SigAckSource::start() {

@@ -42,7 +42,9 @@ StatFlSource::StatFlSource(const ProtocolContext& ctx)
     : ctx_(ctx),
       score_(ctx.d()),
       send_period_(static_cast<sim::SimDuration>(
-          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {}
+          static_cast<double>(sim::kSecond) / ctx.params().send_rate_pps)) {
+  score_.set_blame(ctx.params().blame);
+}
 
 void StatFlSource::start() {
   node().sim().after(send_period_, [this] { send_next(); });

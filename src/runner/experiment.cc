@@ -57,10 +57,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                    config.params.total_packets, config.path.seed,
                    config.decision_threshold);
     // Stream self-description: everything src/stream needs to rebuild the
-    // scoring state from the log alone (protocol, path length, persistence
-    // K, threshold) — see stream::ScoreEngine.
+    // scoring state from the log alone (protocol, path length, blame-mode
+    // code, threshold) — see stream::ScoreEngine.
     events->append(0, obs::EventKind::kRunConfig, /*ts_ns=*/0,
-                   static_cast<std::int32_t>(config.params.blame_persistence),
+                   config.params.blame.encode32(),
                    static_cast<std::uint64_t>(config.protocol),
                    static_cast<std::uint64_t>(config.path.length),
                    config.decision_threshold);

@@ -49,7 +49,9 @@ void ScoreEngine::configure(const EngineConfig& config) {
       table_ = Table::kFl;
       break;
   }
-  if (onion_) onion_->set_persistence(config.blame_persistence);
+  if (onion_) onion_->set_blame(config.blame);
+  if (prefix_) prefix_->set_blame(config.blame);
+  if (fl_) fl_->set_blame(config.blame);
 
   packets_sent_ = 0;
   delivered_ = 0;
@@ -81,13 +83,14 @@ void ScoreEngine::apply(const obs::Event& event) {
       incoming.protocol = static_cast<protocols::ProtocolKind>(event.a);
       incoming.num_links = static_cast<std::size_t>(event.b);
       incoming.threshold = event.value;
-      incoming.blame_persistence =
-          event.link > 0 ? static_cast<std::uint64_t>(event.link) : 0;
+      incoming.blame = event.link > 0
+                           ? protocols::BlameSpec::decode32(event.link)
+                           : protocols::BlameSpec{};
       if (table_ == Table::kNone) {
         configure(incoming);
       } else if (incoming.protocol != config_.protocol ||
                  incoming.num_links != config_.num_links ||
-                 incoming.blame_persistence != config_.blame_persistence ||
+                 incoming.blame != config_.blame ||
                  incoming.threshold != config_.threshold) {
         throw std::runtime_error(
             "stream: run-config contradicts the active configuration "
@@ -158,6 +161,7 @@ void ScoreEngine::apply(const obs::Event& event) {
       rec.packets = event.a;
       rec.observations = event.b;
       rec.theta = event.value;
+      rec.line = stream_line_;
       recorded_.push_back(rec);
       break;
     }

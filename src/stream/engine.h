@@ -13,7 +13,7 @@
 // tests/stream_test.cc proves it per protocol.
 //
 // Configuration is in-band: the runner opens every log with a kRunConfig
-// event (protocol, path length, persistence K, threshold), so a consumer
+// event (protocol, path length, blame-mode code, threshold), so a consumer
 // needs no out-of-band knowledge of what produced the stream. An engine
 // can also be configured explicitly (restored snapshots, headless pipes);
 // a later kRunConfig that contradicts the active configuration is a hard
@@ -57,7 +57,7 @@ struct EngineConfig {
   protocols::ProtocolKind protocol = protocols::ProtocolKind::kPaai1;
   std::size_t num_links = 6;
   double threshold = 0.02;
-  std::uint64_t blame_persistence = 0;
+  protocols::BlameSpec blame;
 };
 
 /// A batch conviction record observed in the stream (kConviction events
@@ -68,6 +68,9 @@ struct ConvictionRecord {
   std::uint64_t packets = 0;
   std::uint64_t observations = 0;
   double theta = 0.0;
+  /// 1-based stream line the record arrived on (0 = unknown: in-memory
+  /// replays and legacy snapshots). Diagnostic only — never compared.
+  std::uint64_t line = 0;
 };
 
 class ScoreEngine {
@@ -89,6 +92,11 @@ class ScoreEngine {
   /// out-of-range link, kRunConfig contradicting the active
   /// configuration, score events before any configuration).
   void apply(const obs::Event& event);
+
+  /// Stream-position bookkeeping for replay diagnostics: the feeder
+  /// (serve_stream) sets the 1-based line the next event came from;
+  /// kConviction records are stamped with it.
+  void set_stream_line(std::uint64_t line) { stream_line_ = line; }
 
   /// Every event fed through apply().
   std::uint64_t events_seen() const { return events_seen_; }
@@ -162,6 +170,7 @@ class ScoreEngine {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t delivered_ = 0;
   bool run_ended_ = false;
+  std::uint64_t stream_line_ = 0;
 
   std::vector<ConvictionRecord> recorded_;
   std::vector<bool> convicted_before_;  // transition baseline

@@ -81,6 +81,7 @@ ServeReport serve_stream(ScoreEngine& engine, std::istream& in,
 
     ++report.events;
     const std::uint64_t applied_before = engine.events_applied();
+    engine.set_stream_line(reader.line());
     try {
       engine.apply(event);
     } catch (const std::exception& e) {

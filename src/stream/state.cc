@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "obs/json.h"
 
@@ -37,9 +38,113 @@ bool parse_u64_array(const obs::JsonValue* v, std::vector<std::uint64_t>* out) {
   return true;
 }
 
+bool parse_double_array(const obs::JsonValue* v, std::vector<double>* out) {
+  if (v == nullptr || !v->is_array()) return false;
+  out->clear();
+  out->reserve(v->array.size());
+  for (const obs::JsonValue& item : v->array) {
+    if (!item.is_number()) return false;
+    out->push_back(item.number);
+  }
+  return true;
+}
+
 bool fail(std::string* error, const char* what) {
   if (error != nullptr) *error = std::string("paai.state.v1: ") + what;
   return false;
+}
+
+/// Emits the WindowLedger counters into the already-open "window" object
+/// (the caller writes the table-specific current-window bins first).
+void write_ledger(obs::JsonWriter& w, const protocols::WindowLedger& led) {
+  w.key("v").value(std::int64_t{1});
+  w.key("w");
+  write_u64(w, led.width());
+  w.key("completed");
+  write_u64(w, led.completed());
+  w.key("cur_streak").begin_array();
+  for (std::size_t i = 0; i < led.num_links(); ++i) {
+    write_u64(w, led.cur_streak(i));
+  }
+  w.end_array();
+  w.key("max_streak").begin_array();
+  for (std::size_t i = 0; i < led.num_links(); ++i) {
+    write_u64(w, led.max_streak(i));
+  }
+  w.end_array();
+  w.key("flagrant").begin_array();
+  for (std::size_t i = 0; i < led.num_links(); ++i) {
+    write_u64(w, led.flagrant_windows(i));
+  }
+  w.end_array();
+  w.key("max_theta_w").begin_array();
+  for (std::size_t i = 0; i < led.num_links(); ++i) {
+    w.value(led.max_theta_w(i));
+  }
+  w.end_array();
+  w.key("recent").begin_array();
+  for (std::size_t i = 0; i < led.num_links(); ++i) {
+    w.begin_array();
+    for (const double tw : led.recent(i)) w.value(tw);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+/// Parsed WindowLedger counters from a snapshot's "window" object.
+struct LedgerDoc {
+  std::uint64_t width = 0;
+  std::uint64_t completed = 0;
+  std::vector<std::uint64_t> cur_streak, max_streak, flagrant;
+  std::vector<double> max_theta_w;
+  std::vector<std::vector<double>> recent;
+};
+
+/// Fail-closed parse of the ledger half of a "window" object: every
+/// field must be present, well-typed, and num_links-shaped.
+bool parse_ledger(const obs::JsonValue* win, std::size_t num_links,
+                  std::uint64_t expect_width, LedgerDoc* out,
+                  std::string* error) {
+  const obs::JsonValue* v = win->find("v");
+  if (v == nullptr || !v->is_number() ||
+      static_cast<std::int64_t>(v->number) != 1) {
+    return fail(error, "unsupported window state version");
+  }
+  if (!parse_u64(win->find("w"), &out->width) ||
+      !parse_u64(win->find("completed"), &out->completed)) {
+    return fail(error, "mistyped window counters");
+  }
+  if (out->width != expect_width) {
+    return fail(error, "window width contradicts the blame spec");
+  }
+  if (!parse_u64_array(win->find("cur_streak"), &out->cur_streak) ||
+      !parse_u64_array(win->find("max_streak"), &out->max_streak) ||
+      !parse_u64_array(win->find("flagrant"), &out->flagrant) ||
+      !parse_double_array(win->find("max_theta_w"), &out->max_theta_w)) {
+    return fail(error, "mistyped window counters");
+  }
+  const obs::JsonValue* recent = win->find("recent");
+  if (recent == nullptr || !recent->is_array()) {
+    return fail(error, "mistyped window counters");
+  }
+  out->recent.clear();
+  out->recent.reserve(recent->array.size());
+  for (const obs::JsonValue& ring : recent->array) {
+    std::vector<double> values;
+    if (!parse_double_array(&ring, &values) ||
+        values.size() > protocols::kWindowRingCap) {
+      return fail(error, "mistyped window counters");
+    }
+    out->recent.push_back(std::move(values));
+  }
+  if (out->cur_streak.size() != num_links ||
+      out->max_streak.size() != num_links ||
+      out->flagrant.size() != num_links ||
+      out->max_theta_w.size() != num_links ||
+      out->recent.size() != num_links) {
+    return fail(error, "window state shape");
+  }
+  return true;
 }
 
 }  // namespace
@@ -53,8 +158,13 @@ void write_state(std::ostream& os, const ScoreEngine& engine) {
   w.key("protocol_name").value(protocols::protocol_name(cfg.protocol));
   w.key("links").value(static_cast<std::int64_t>(cfg.num_links));
   w.key("threshold").value(cfg.threshold);
+  // "persistence" is the legacy field (pre-window readers); "blame" is
+  // the full spec. They agree by construction for margin/persistent.
   w.key("persistence");
-  write_u64(w, cfg.blame_persistence);
+  write_u64(w, cfg.blame.mode == protocols::BlameSpec::Mode::kPersistent
+                   ? cfg.blame.k
+                   : 0);
+  w.key("blame").value(cfg.blame.to_string());
   w.key("events_seen");
   write_u64(w, engine.events_seen());
   w.key("events_applied");
@@ -74,6 +184,8 @@ void write_state(std::ostream& os, const ScoreEngine& engine) {
     w.key("observations");
     write_u64(w, rec.observations);
     w.key("theta").value(rec.theta);
+    w.key("line");
+    write_u64(w, rec.line);
     w.end_object();
   }
   w.end_array();
@@ -88,6 +200,12 @@ void write_state(std::ostream& os, const ScoreEngine& engine) {
     write_u64(w, t->observations());
     w.key("probes");
     write_u64(w, t->probes());
+    w.key("window").begin_object();
+    w.key("bins").begin_array();
+    for (const std::uint64_t b : t->window_bins()) write_u64(w, b);
+    w.end_array();
+    write_ledger(w, t->windows());
+    w.end_object();
   } else if (const protocols::Paai2ScoreTable* t2 = engine.prefix_table()) {
     w.key("kind").value("prefix");
     w.key("s").begin_array();
@@ -109,6 +227,15 @@ void write_state(std::ostream& os, const ScoreEngine& engine) {
     write_u64(w, t2->data_packets());
     w.key("probes");
     write_u64(w, t2->probes());
+    w.key("window").begin_object();
+    w.key("sel_n_bins").begin_array();
+    for (const std::uint64_t b : t2->window_sel_n()) write_u64(w, b);
+    w.end_array();
+    w.key("sel_f_bins").begin_array();
+    for (const std::uint64_t b : t2->window_sel_f()) write_u64(w, b);
+    w.end_array();
+    write_ledger(w, t2->windows());
+    w.end_object();
   } else if (const protocols::FlScoreTable* tf = engine.fl_table()) {
     w.key("kind").value("fl");
     w.key("acc").begin_array();
@@ -120,6 +247,12 @@ void write_state(std::ostream& os, const ScoreEngine& engine) {
     write_u64(w, tf->intervals_reported());
     w.key("intervals_lost");
     write_u64(w, tf->intervals_lost());
+    w.key("window").begin_object();
+    w.key("counts").begin_array();
+    for (const double c : tf->window_counts()) w.value(c);
+    w.end_array();
+    write_ledger(w, tf->windows());
+    w.end_object();
   } else {
     w.key("kind").value("none");
   }
@@ -163,8 +296,22 @@ bool load_state(std::string_view json, ScoreEngine* engine,
   cfg.protocol = static_cast<protocols::ProtocolKind>(kind_value);
   cfg.num_links = static_cast<std::size_t>(links->number);
   cfg.threshold = threshold->number;
-  if (!parse_u64(doc->find("persistence"), &cfg.blame_persistence)) {
+  std::uint64_t persistence = 0;
+  if (!parse_u64(doc->find("persistence"), &persistence)) {
     return fail(error, "missing or mistyped persistence");
+  }
+  const obs::JsonValue* blame = doc->find("blame");
+  if (blame != nullptr) {
+    if (!blame->is_string()) return fail(error, "mistyped blame spec");
+    try {
+      cfg.blame = protocols::BlameSpec::parse(blame->string);
+    } catch (const std::invalid_argument&) {
+      return fail(error, "malformed blame spec");
+    }
+  } else if (persistence > 0) {
+    // Legacy (pre-window) snapshot: the persistence field IS the spec.
+    cfg.blame.mode = protocols::BlameSpec::Mode::kPersistent;
+    cfg.blame.k = persistence;
   }
   if (cfg.num_links == 0) return fail(error, "links must be positive");
   engine->configure(cfg);
@@ -198,6 +345,11 @@ bool load_state(std::string_view json, ScoreEngine* engine,
     }
     rec.link = static_cast<std::size_t>(link->number);
     rec.theta = theta->number;
+    // Optional in legacy documents; rejected when present-but-mistyped.
+    const obs::JsonValue* line = item.find("line");
+    if (line != nullptr && !parse_u64(line, &rec.line)) {
+      return fail(error, "mistyped conviction record");
+    }
     recorded.push_back(rec);
   }
 
@@ -223,6 +375,22 @@ bool load_state(std::string_view json, ScoreEngine* engine,
     }
     if (s.size() != cfg.num_links) return fail(error, "onion table shape");
     t->restore(s, n, probes);
+    if (const obs::JsonValue* win = table->find("window")) {
+      if (!win->is_object()) return fail(error, "mistyped window state");
+      std::vector<std::uint64_t> bins;
+      LedgerDoc led;
+      if (!parse_u64_array(win->find("bins"), &bins)) {
+        return fail(error, "mistyped window counters");
+      }
+      if (bins.size() != cfg.num_links) {
+        return fail(error, "window state shape");
+      }
+      if (!parse_ledger(win, cfg.num_links, cfg.blame.w, &led, error)) {
+        return false;
+      }
+      t->restore_window(bins, led.completed, led.cur_streak, led.max_streak,
+                        led.flagrant, led.max_theta_w, led.recent);
+    }
   } else if (protocols::Paai2ScoreTable* t2 = engine->mutable_prefix_table()) {
     if (table_kind->string != "prefix") {
       return fail(error, "table.kind does not match the protocol");
@@ -241,6 +409,25 @@ bool load_state(std::string_view json, ScoreEngine* engine,
       return fail(error, "prefix table shape");
     }
     t2->restore(s, sel_n, sel_f, data_packets, probes);
+    if (const obs::JsonValue* win = table->find("window")) {
+      if (!win->is_object()) return fail(error, "mistyped window state");
+      std::vector<std::uint64_t> sel_n_bins, sel_f_bins;
+      LedgerDoc led;
+      if (!parse_u64_array(win->find("sel_n_bins"), &sel_n_bins) ||
+          !parse_u64_array(win->find("sel_f_bins"), &sel_f_bins)) {
+        return fail(error, "mistyped window counters");
+      }
+      if (sel_n_bins.size() != cfg.num_links + 1 ||
+          sel_f_bins.size() != cfg.num_links + 1) {
+        return fail(error, "window state shape");
+      }
+      if (!parse_ledger(win, cfg.num_links, cfg.blame.w, &led, error)) {
+        return false;
+      }
+      t2->restore_window(sel_n_bins, sel_f_bins, led.completed,
+                         led.cur_streak, led.max_streak, led.flagrant,
+                         led.max_theta_w, led.recent);
+    }
   } else if (protocols::FlScoreTable* tf = engine->mutable_fl_table()) {
     if (table_kind->string != "fl") {
       return fail(error, "table.kind does not match the protocol");
@@ -262,6 +449,23 @@ bool load_state(std::string_view json, ScoreEngine* engine,
     }
     if (acc.size() != cfg.num_links + 1) return fail(error, "fl table shape");
     tf->restore(acc, reported, lost);
+    if (const obs::JsonValue* win = table->find("window")) {
+      if (!win->is_object()) return fail(error, "mistyped window state");
+      std::vector<double> counts;
+      LedgerDoc led;
+      if (!parse_double_array(win->find("counts"), &counts)) {
+        return fail(error, "mistyped window counters");
+      }
+      if (counts.size() != cfg.num_links + 1) {
+        return fail(error, "window state shape");
+      }
+      if (!parse_ledger(win, cfg.num_links, cfg.blame.w, &led, error)) {
+        return false;
+      }
+      tf->restore_window(counts, led.completed, led.cur_streak,
+                         led.max_streak, led.flagrant, led.max_theta_w,
+                         led.recent);
+    }
   } else {
     return fail(error, "engine has no table after configure");
   }

@@ -17,19 +17,33 @@
 //     "schema": "paai.state.v1",
 //     "protocol": <ProtocolKind int>, "protocol_name": "<display>",
 //     "links": <int>, "threshold": <double>, "persistence": "<u64>",
+//     "blame": "<BlameSpec::to_string()>",
 //     "events_seen": "<u64>", "events_applied": "<u64>",
 //     "packets_sent": "<u64>", "delivered": "<u64>", "run_ended": <bool>,
 //     "recorded_convictions": [
 //       {"link": <int>, "packets": "<u64>", "observations": "<u64>",
-//        "theta": <double>}, ...],
+//        "theta": <double>, "line": "<u64>"}, ...],
 //     "table":
 //       {"kind": "onion", "s": ["<u64>", ...], "n": "<u64>",
-//        "probes": "<u64>"}
+//        "probes": "<u64>", "window": {...}}
 //     | {"kind": "prefix", "s": [...], "sel_n": [...], "sel_f": [...],
-//        "data_packets": "<u64>", "probes": "<u64>"}
+//        "data_packets": "<u64>", "probes": "<u64>", "window": {...}}
 //     | {"kind": "fl", "acc": [<double>, ...],
-//        "intervals_reported": "<u64>", "intervals_lost": "<u64>"}
+//        "intervals_reported": "<u64>", "intervals_lost": "<u64>",
+//        "window": {...}}
 //   }
+//
+// The "window" object is the burst-aware layer's versioned state: the
+// current window's bins (table-specific: "bins" u64s for onion,
+// "sel_n_bins"/"sel_f_bins" for prefix, "counts" doubles for fl) plus the
+// WindowLedger counters ("v": 1, "w", "completed", "cur_streak",
+// "max_streak", "flagrant", "max_theta_w", "recent"). Back/forward
+// compatibility is fail-closed in one direction only: a snapshot WITHOUT
+// a window object is legacy (pre-window) and restores with a clean
+// ledger — safe, since such snapshots can only carry margin/persistent
+// modes; a snapshot WITH a malformed or shape-mismatched window object is
+// rejected outright. "blame" and record "line" are likewise optional for
+// legacy documents but rejected when present-but-mistyped.
 #pragma once
 
 #include <iosfwd>

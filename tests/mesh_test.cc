@@ -288,6 +288,89 @@ TEST(MeshRunner, StatEngineBitIdenticalAcrossJobs) {
   }
 }
 
+// Same contract under a windowed blame mode: the per-round window
+// counters are u64 sums keyed by round index, so they must absorb
+// order-independently — any --jobs value lands every delta in the same
+// round cell and the windowed verdict is bit-identical.
+TEST(MeshRunner, StatEngineWindowedModeBitIdenticalAcrossJobs) {
+  MeshConfig cfg;
+  cfg.topo = Topology::parse("fattree@4");
+  cfg.paths = cfg.topo.enumerate_paths(2000, 3);
+  cfg.engine = MeshEngine::kStat;
+  cfg.units_per_path = 400;
+  cfg.rounds = 4;
+  cfg.blame = protocols::BlameSpec::parse("windowed:192");
+  cfg.adversaries = adversary::AdversaryPlan::parse("uniform@0:rate=0.03");
+  cfg.faults = faults::FaultPlan::parse("ge@7:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15");
+  cfg.seed0 = 77;
+
+  cfg.jobs = 1;
+  const MeshResult serial = run_mesh(cfg);
+  cfg.jobs = 8;
+  const MeshResult parallel = run_mesh(cfg);
+
+  EXPECT_EQ(serial.total_damage, parallel.total_damage);  // bit-exact
+  EXPECT_EQ(serial.convicted, parallel.convicted);
+  EXPECT_EQ(serial.detection_units_p50, parallel.detection_units_p50);
+  EXPECT_EQ(serial.detection_units_p99, parallel.detection_units_p99);
+  ASSERT_EQ(serial.links.size(), parallel.links.size());
+  for (std::size_t l = 0; l < serial.links.size(); ++l) {
+    EXPECT_EQ(serial.links[l].units, parallel.links[l].units);
+    EXPECT_EQ(serial.links[l].blames, parallel.links[l].blames);
+    EXPECT_EQ(serial.links[l].theta, parallel.links[l].theta);
+    EXPECT_EQ(serial.links[l].convicted, parallel.links[l].convicted);
+    EXPECT_EQ(serial.links[l].first_convicted_units,
+              parallel.links[l].first_convicted_units);
+  }
+
+  // Margin mode on the same scenario is unchanged by the window
+  // counters riding along: its verdict comes from the cumulative sums.
+  MeshConfig margin = cfg;
+  margin.blame = protocols::BlameSpec{};
+  margin.jobs = 1;
+  const MeshResult margin_result = run_mesh(margin);
+  for (std::size_t l = 0; l < margin_result.links.size(); ++l) {
+    EXPECT_EQ(margin_result.links[l].units, serial.links[l].units);
+    EXPECT_EQ(margin_result.links[l].blames, serial.links[l].blames);
+    EXPECT_EQ(margin_result.links[l].theta, serial.links[l].theta);
+  }
+}
+
+// The store's window cells cover the cumulative evidence exactly, and
+// the blame-aware convicts() reproduces the legacy margin verdict.
+TEST(ScoreStore, WindowCountersCommuteAndCoverTotals) {
+  ScoreShard a(3, /*rounds=*/2);
+  ScoreShard b(3, /*rounds=*/2);
+  a.add(0, 100, 10, /*path=*/1, false);
+  a.add_window(0, 0, 60, 8);
+  a.add_window(0, 1, 40, 2);
+  b.add(0, 50, 5, /*path=*/2, false);
+  b.add_window(0, 1, 50, 5);
+
+  GlobalScoreStore ab(3, 2);
+  ab.absorb(a);
+  ab.absorb(b);
+  GlobalScoreStore ba(3, 2);
+  ba.absorb(b);
+  ba.absorb(a);
+
+  for (const GlobalScoreStore* store : {&ab, &ba}) {
+    EXPECT_EQ(store->round_units(0, 0), 60u);
+    EXPECT_EQ(store->round_blames(0, 0), 8u);
+    EXPECT_EQ(store->round_units(0, 1), 90u);
+    EXPECT_EQ(store->round_blames(0, 1), 7u);
+    EXPECT_EQ(store->units_through(0, 2), store->units(0));
+    EXPECT_EQ(store->blames_through(0, 2), store->blames(0));
+    // Margin via the blame-aware overload == the legacy rule.
+    const protocols::BlameSpec margin;
+    EXPECT_EQ(store->convicts(0, 0.02, margin), store->convicts(0, 0.02));
+  }
+
+  // Round mismatch is a hard error, not a silent mis-keying.
+  GlobalScoreStore narrow(3, 1);
+  EXPECT_THROW(narrow.absorb(a), std::invalid_argument);
+}
+
 TEST(MeshRunner, PacketEngineMapsMeshPlansOntoPaths) {
   // Full discrete-event engine on a shared chain: the mesh-level
   // adversary at node 4 must project onto every path's local F_4 and be

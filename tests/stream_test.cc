@@ -10,6 +10,7 @@
 // conviction, and the serve loop's drain/snapshot behavior.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <fstream>
@@ -84,9 +85,9 @@ obs::Event make_event(obs::EventKind kind, std::int32_t link = -1,
 }
 
 obs::Event run_config_event(protocols::ProtocolKind protocol, std::size_t d,
-                            double threshold, std::uint64_t persistence = 0) {
-  return make_event(obs::EventKind::kRunConfig,
-                    static_cast<std::int32_t>(persistence),
+                            double threshold,
+                            const protocols::BlameSpec& blame = {}) {
+  return make_event(obs::EventKind::kRunConfig, blame.encode32(),
                     static_cast<std::uint64_t>(protocol), d, threshold);
 }
 
@@ -143,13 +144,70 @@ TEST(Equivalence, AllProtocolsAdversary) {
 TEST(Equivalence, PersistentBlameModeReplays) {
   runner::ExperimentConfig cfg =
       runner::paper_config(protocols::ProtocolKind::kPaai1, 3000, 17);
-  cfg.params.blame_persistence = 3;
+  cfg.params.blame = protocols::BlameSpec::parse("persistent:3");
   const BatchRun batch = run_with_log(cfg);
   ASSERT_EQ(batch.dropped, 0u);
   ScoreEngine engine;
   for (const obs::Event& e : batch.events) engine.apply(e);
-  EXPECT_EQ(engine.config().blame_persistence, 3u);
+  EXPECT_EQ(engine.config().blame, cfg.params.blame);
+  EXPECT_EQ(engine.config().blame.to_string(), "persistent:3");
   expect_equivalent(batch.result, engine, "paai1-persistent");
+}
+
+// Same for the window-backed modes: the kRunConfig prologue carries the
+// full BlameSpec wire encoding, and every protocol's window ledger replays
+// bit-identically from the same forensic events.
+TEST(Equivalence, WindowedAndHybridModesReplayAllProtocols) {
+  for (const char* spec : {"windowed:64", "hybrid:2,64"}) {
+    for (const auto protocol : kAllProtocols) {
+      SCOPED_TRACE(std::string(spec) + " / " +
+                   protocols::protocol_name(protocol));
+      runner::ExperimentConfig cfg =
+          runner::paper_config(protocol, 2000, 19);
+      cfg.params.blame = protocols::BlameSpec::parse(spec);
+      const BatchRun batch = run_with_log(cfg);
+      ASSERT_EQ(batch.dropped, 0u);
+      ScoreEngine engine;
+      for (const obs::Event& e : batch.events) engine.apply(e);
+      EXPECT_EQ(engine.config().blame, cfg.params.blame);
+      expect_equivalent(batch.result, engine, spec);
+    }
+  }
+}
+
+// Window bookkeeping is passive until a windowed blame mode reads it: a
+// margin-mode run must be bit-identical — thetas, conviction set, e2e —
+// to the same seed run before windows existed, which the windowed-mode
+// run of the same scenario demonstrates by sharing every estimate and
+// differing at most in the verdict.
+TEST(Equivalence, WindowedNeverAffectsMarginMode) {
+  for (const auto protocol : kAllProtocols) {
+    SCOPED_TRACE(protocols::protocol_name(protocol));
+    runner::ExperimentConfig margin_cfg =
+        runner::paper_config(protocol, 2000, 21);
+    runner::ExperimentConfig windowed_cfg = margin_cfg;
+    windowed_cfg.params.blame = protocols::BlameSpec::parse("windowed:32");
+    const runner::ExperimentResult margin =
+        runner::run_experiment(margin_cfg);
+    const runner::ExperimentResult windowed =
+        runner::run_experiment(windowed_cfg);
+    EXPECT_EQ(margin.packets_sent, windowed.packets_sent);
+    EXPECT_EQ(margin.observations, windowed.observations);
+    EXPECT_EQ(margin.observed_e2e_rate, windowed.observed_e2e_rate);
+    ASSERT_EQ(margin.final_thetas.size(), windowed.final_thetas.size());
+    for (std::size_t i = 0; i < margin.final_thetas.size(); ++i) {
+      EXPECT_EQ(margin.final_thetas[i], windowed.final_thetas[i])
+          << "theta of l_" << i;
+    }
+    // The windowed verdict may only ADD convictions (its extra clauses
+    // are disjunctive on top of the margin rule).
+    for (const std::size_t link : margin.final_convicted) {
+      EXPECT_NE(std::find(windowed.final_convicted.begin(),
+                          windowed.final_convicted.end(), link),
+                windowed.final_convicted.end())
+          << "margin conviction of l_" << link << " lost under windowed";
+    }
+  }
 }
 
 // ------------------------------------------------- snapshot / restore
@@ -190,6 +248,68 @@ TEST(Snapshot, MidStreamRestoreIsLossless) {
     EXPECT_EQ(resumed.recorded_convictions().size(),
               uninterrupted.recorded_convictions().size());
   }
+}
+
+// The windowed modes carry extra per-table state (window bins + ledger);
+// a mid-stream snapshot/restore must be lossless for every protocol so a
+// resumed serve reaches the exact same verdict — including streak and
+// flagrant history that cumulative counters cannot reconstruct.
+TEST(Snapshot, WindowedAndHybridMidStreamRestoreIsLossless) {
+  for (const char* spec : {"windowed:64", "hybrid:2,64"}) {
+    for (const auto protocol : kAllProtocols) {
+      SCOPED_TRACE(std::string(spec) + " / " +
+                   protocols::protocol_name(protocol));
+      runner::ExperimentConfig cfg =
+          runner::paper_config(protocol, 2000, 43);
+      cfg.params.blame = protocols::BlameSpec::parse(spec);
+      const BatchRun batch = run_with_log(cfg);
+      ASSERT_EQ(batch.dropped, 0u);
+
+      const std::size_t cut = batch.events.size() / 2;
+      ScoreEngine first_half;
+      for (std::size_t i = 0; i < cut; ++i) {
+        first_half.apply(batch.events[i]);
+      }
+      const std::string snapshot = state_to_string(first_half);
+
+      ScoreEngine resumed;
+      std::string error;
+      ASSERT_TRUE(load_state(snapshot, &resumed, &error)) << error;
+      EXPECT_EQ(resumed.config().blame, cfg.params.blame);
+      for (std::size_t i = cut; i < batch.events.size(); ++i) {
+        resumed.apply(batch.events[i]);
+      }
+      expect_equivalent(batch.result, resumed, spec);
+
+      // The snapshot itself must also round-trip byte-identically (the
+      // window objects are part of the canonical serialization).
+      ScoreEngine reloaded;
+      ASSERT_TRUE(load_state(snapshot, &reloaded, &error)) << error;
+      EXPECT_EQ(state_to_string(reloaded), snapshot);
+    }
+  }
+}
+
+// A legacy snapshot (no "window" objects, no "blame" field) must restore
+// fail-safe: accepted, margin mode, clean window ledger. A present but
+// malformed window object must be rejected, never half-applied.
+TEST(Snapshot, WindowStateFailsClosed) {
+  const BatchRun batch = run_with_log(
+      runner::paper_config(protocols::ProtocolKind::kPaai1, 500, 47));
+  ScoreEngine engine;
+  for (const obs::Event& e : batch.events) engine.apply(e);
+  std::string snapshot = state_to_string(engine);
+
+  // Tamper: unsupported window state version.
+  const std::string versioned = R"("v":1,"w")";
+  const std::size_t at = snapshot.find(versioned);
+  ASSERT_NE(at, std::string::npos) << snapshot;
+  std::string tampered = snapshot;
+  tampered.replace(at, versioned.size(), R"("v":9,"w")");
+  ScoreEngine rejected;
+  std::string error;
+  EXPECT_FALSE(load_state(tampered, &rejected, &error));
+  EXPECT_NE(error.find("window"), std::string::npos) << error;
 }
 
 TEST(Snapshot, StateRoundTripsByteIdentically) {
@@ -250,7 +370,7 @@ TEST(Engine, RunConfigMismatchThrows) {
 
 TEST(Engine, CrossProtocolEventsThrow) {
   ScoreEngine engine(
-      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018});
   EXPECT_THROW(engine.apply(make_event(obs::EventKind::kFlCount, 2, 0, 10)),
                std::runtime_error);
   EXPECT_THROW(
@@ -263,7 +383,7 @@ TEST(Engine, CrossProtocolEventsThrow) {
 
 TEST(Engine, ConvictionTransitionsFireOnce) {
   ScoreEngine engine(
-      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.001, 0});
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.001});
   // Enough clean mass plus repeated blames of l_3 to cross the margin.
   for (int i = 0; i < 50; ++i) {
     engine.apply(make_event(obs::EventKind::kScoreClean));
@@ -306,6 +426,52 @@ TEST(Persistence, ReplacesMarginNotThreshold) {
   // 0.05 threshold (not) — K alone never convicts.
   EXPECT_EQ(table.convicted(0.01).size(), 1u);
   EXPECT_TRUE(table.convicted(0.05).empty());
+}
+
+// ------------------------------------------------------ blame spec grammar
+
+TEST(BlameSpec, ParsesEveryModeAndRoundTrips) {
+  const char* specs[] = {"margin", "persistent:3", "windowed:192",
+                         "hybrid:4,192"};
+  for (const char* spec : specs) {
+    SCOPED_TRACE(spec);
+    const protocols::BlameSpec parsed = protocols::BlameSpec::parse(spec);
+    EXPECT_EQ(parsed.to_string(), spec);
+    // Wire round trip: encode32 -> decode32 is the kRunConfig path.
+    EXPECT_EQ(protocols::BlameSpec::decode32(parsed.encode32()), parsed);
+  }
+  // Defaults: bare modes pick the calibrated parameters.
+  EXPECT_EQ(protocols::BlameSpec::parse("persistent").k,
+            protocols::kDefaultPersistence);
+  EXPECT_EQ(protocols::BlameSpec::parse("windowed").w,
+            protocols::kDefaultWindowWidth);
+  const protocols::BlameSpec hybrid = protocols::BlameSpec::parse("hybrid");
+  EXPECT_EQ(hybrid.k, protocols::kDefaultHybridStreak);
+  EXPECT_EQ(hybrid.w, protocols::kDefaultWindowWidth);
+  // "standard" is the historical alias for margin.
+  EXPECT_EQ(protocols::BlameSpec::parse("standard").mode,
+            protocols::BlameSpec::Mode::kMargin);
+  // Persistent keeps the PR 7 bare-K wire format.
+  EXPECT_EQ(protocols::BlameSpec::parse("persistent:3").encode32(), 3);
+  EXPECT_EQ(protocols::BlameSpec::parse("margin").encode32(), 0);
+}
+
+TEST(BlameSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",             // empty
+      "turbo",        // unknown mode
+      "margin:1",     // margin takes no argument
+      "persistent:0", // K out of range
+      "windowed:7",   // below the minimum width
+      "windowed:0",   // zero width
+      "hybrid:9,64",  // streak above the ring capacity
+      "hybrid:2,x",   // non-numeric width
+  };
+  for (const char* spec : bad) {
+    SCOPED_TRACE(spec);
+    EXPECT_THROW(protocols::BlameSpec::parse(spec), std::invalid_argument);
+  }
+  EXPECT_THROW(protocols::BlameSpec::decode32(-1), std::invalid_argument);
 }
 
 // -------------------------------------------------------- event reader
@@ -405,6 +571,18 @@ TEST(Reader, TruncationAndCorruptionFuzz) {
         << "prefix length " << len;
   }
 
+  // The same prefixes WITHOUT the newline: a torn tail must be rejected
+  // as unterminated even when the fragment would parse as valid JSON.
+  for (std::size_t len = 1; len <= body.size(); ++len) {
+    std::istringstream is(body.substr(0, len));
+    obs::EventReader reader(is);
+    obs::Event e;
+    std::string error;
+    EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kError)
+        << "unterminated prefix length " << len;
+    EXPECT_NE(error.find("unterminated"), std::string::npos) << error;
+  }
+
   std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
   auto next_rand = [&rng] {
     rng ^= rng << 13;
@@ -430,6 +608,60 @@ TEST(Reader, TruncationAndCorruptionFuzz) {
   }
 }
 
+// A stream that ends mid-line (killed producer, torn pipe) must be a
+// line-numbered hard error, not a silently-parsed fragment.
+TEST(Reader, UnterminatedFinalLineIsError) {
+  const std::string line = to_jsonl(
+      {make_event(obs::EventKind::kDataSend, -1, 1, 0)});
+  const std::string body = line.substr(0, line.size() - 1);  // strip '\n'
+  std::istringstream is(line + body);  // good line, then truncated tail
+  obs::EventReader reader(is);
+  obs::Event e;
+  std::string error;
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEvent);
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kError);
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("unterminated"), std::string::npos) << error;
+  EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEof);
+  EXPECT_EQ(reader.errors(), 1u);
+}
+
+// A newline-free garbage line longer than the cap must fail fast with the
+// line number — bounded buffering, never an O(stream) allocation — and
+// the reader must stay usable on the next line.
+TEST(Reader, OversizedLineFailsFastAndReaderSurvives) {
+  const std::string good = to_jsonl(
+      {make_event(obs::EventKind::kDataSend, -1, 1, 0)});
+  const std::string huge(obs::EventReader::kMaxLineBytes + 16, 'x');
+  std::istringstream is(good + huge + "\n" + good);
+  obs::EventReader reader(is);
+  obs::Event e;
+  std::string error;
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEvent);
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kError);
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+  EXPECT_NE(error.find("maximum line length"), std::string::npos) << error;
+  // Count-and-continue: the oversized tail was discarded, line 3 parses.
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEvent);
+  EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEof);
+  EXPECT_EQ(reader.events(), 2u);
+  EXPECT_EQ(reader.errors(), 1u);
+}
+
+// An oversized line that is ALSO the unterminated tail reports the length
+// cap (the earlier, more specific failure).
+TEST(Reader, OversizedUnterminatedTailIsError) {
+  const std::string huge(obs::EventReader::kMaxLineBytes + 16, 'x');
+  std::istringstream is(huge);  // no newline at all
+  obs::EventReader reader(is);
+  obs::Event e;
+  std::string error;
+  ASSERT_EQ(reader.next(&e, &error), obs::EventReader::Status::kError);
+  EXPECT_NE(error.find("line 1:"), std::string::npos) << error;
+  EXPECT_NE(error.find("maximum line length"), std::string::npos) << error;
+  EXPECT_EQ(reader.next(&e, &error), obs::EventReader::Status::kEof);
+}
+
 TEST(Reader, ReadJsonlWrapperFailsClosed) {
   std::istringstream is("garbage\n");
   std::string error;
@@ -445,7 +677,7 @@ TEST(Service, FailFastStopsAtFirstBadLine) {
       to_jsonl({make_event(obs::EventKind::kDataSend, -1, 1, 0)});
   std::istringstream is(good + "garbage\n" + good);
   ScoreEngine engine(
-      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018});
   std::ostringstream log;
   ServeConfig cfg;
   cfg.fail_fast = true;
@@ -461,7 +693,7 @@ TEST(Service, SkipMalformedContinues) {
       to_jsonl({make_event(obs::EventKind::kDataSend, -1, 1, 0)});
   std::istringstream is(good + "garbage\n" + good);
   ScoreEngine engine(
-      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018});
   std::ostringstream log;
   ServeConfig cfg;
   cfg.fail_fast = false;
@@ -476,7 +708,7 @@ TEST(Service, StopFlagDrainsImmediately) {
   std::istringstream is(
       to_jsonl({make_event(obs::EventKind::kDataSend, -1, 1, 0)}));
   ScoreEngine engine(
-      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018, 0});
+      EngineConfig{protocols::ProtocolKind::kPaai1, 6, 0.018});
   std::ostringstream log;
   const volatile std::sig_atomic_t stop = 1;
   const ServeReport report =

@@ -44,6 +44,14 @@
 #      convict exactly the core's out-links with witness provenance and
 #      exonerate every honest link.
 #
+#   8. detector smoke — the multi-level blame modes (docs/DETECTORS.md):
+#      the fault-colluding adversary (collude@4:rate=1 under the
+#      calibrated GE burst cover) must be CONVICTED by PAAI-1 under
+#      --blame=hybrid at the paper's 60k-packet horizon, and the same
+#      hybrid detector must convict nobody on an honest path under every
+#      shipped benign fault plan — the windowed clauses must not reopen
+#      the Theorem 2 false-accusation door.
+#
 # Usage: tools/check.sh [tsan-build-dir [asan-build-dir]]
 #        (defaults: build-tsan build-asan)
 set -euo pipefail
@@ -96,7 +104,11 @@ echo "== leg 3: bench_diff =="
 # joins the ignore list alongside the other timing benches.
 "$ASAN_DIR/tools/bench_diff" --ignore=bench_micro --ignore=bench_stream \
     --ignore=bench_mesh BENCH_pr7.json BENCH_pr8.json
-"$ASAN_DIR/tools/bench_diff" BENCH_pr8.json BENCH_pr8.json
+# pr8 -> pr9 adds the windowed/hybrid frontier rows to bench_robustness;
+# the shared protocol metrics must not drift.
+"$ASAN_DIR/tools/bench_diff" --ignore=bench_micro --ignore=bench_stream \
+    --ignore=bench_mesh BENCH_pr8.json BENCH_pr9.json
+"$ASAN_DIR/tools/bench_diff" BENCH_pr9.json BENCH_pr9.json
 
 echo "== leg 4: forensics smoke (paai run --events-out -> paai explain) =="
 cmake --build "$ASAN_DIR" --target paai -j "$(nproc)"
@@ -202,4 +214,49 @@ grep -q 'witnesses=p' "$SMOKE_DIR/mesh.stdout" || {
 # The emitted paai.bench.v1 report must be valid (self-diff is clean).
 "$ASAN_DIR/tools/bench_diff" "$SMOKE_DIR/mesh.json" "$SMOKE_DIR/mesh.json"
 
-echo "check.sh: TSan (exec/runner/fleet/mesh/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean, serve smoke clean, mesh smoke clean"
+echo "== leg 8: detector smoke (multi-level blame modes) =="
+# The hybrid detector's target scenario: the r=1 fault colluder hiding in
+# the calibrated GE burst plan evades the margin rule at the paper's 60k
+# packets (theta_4 ~ 0.015-0.017, sd margin not cleared) but keeps a
+# >= 4-window hot streak the honest churn cannot — hybrid must convict.
+"$ASAN_DIR/tools/paai" run --protocol=paai1 --packets=60000 --seed=900 \
+    --blame=hybrid --adversary='collude@4:rate=1' \
+    --faults='ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15' \
+    > "$SMOKE_DIR/hybrid.stdout"
+grep -q "CONVICTED" "$SMOKE_DIR/hybrid.stdout" || {
+  echo "leg 8 FAILED: hybrid blame mode did not convict the colluder:" >&2
+  cat "$SMOKE_DIR/hybrid.stdout" >&2
+  exit 1
+}
+grep "CONVICTED" "$SMOKE_DIR/hybrid.stdout" | grep -q "l_4" || {
+  echo "leg 8 FAILED: hybrid conviction names the wrong link:" >&2
+  cat "$SMOKE_DIR/hybrid.stdout" >&2
+  exit 1
+}
+# The other side of the bargain: on an honest path, hybrid's extra
+# clauses must convict nobody under ANY shipped benign fault plan
+# (specs mirror faults::benign_plans() — bench_robustness section A runs
+# the same sweep across all protocols and blame-free configs).
+BENIGN_PLANS=(
+  'ge@2:pg=0.005,pb=0.3,g2b=0.003,b2g=0.15'
+  'set@1:t=0,loss=0.002;set@1:t=150,loss=0.02;set@1:t=300,loss=0.002;set@1:t=450,loss=0.02;set@1:t=550,loss=0.002'
+  'set@3:t=60,lat=4.5,jitter=0.5;set@3:t=240,lat=1;set@3:t=420,lat=4.8,jitter=1'
+  'outage@3:t=120,dur=1.5;outage@2:t=360,dur=1'
+  'reorder@1:p=0.05,delay=2;dup@4:p=0.01'
+  'ge@2:pg=0.004,pb=0.2,g2b=0.002,b2g=0.2;set@1:t=100,loss=0.015;set@1:t=250,loss=0.002;outage@4:t=180,dur=1;reorder@5:p=0.02,delay=1;dup@0:p=0.005'
+)
+for plan in "${BENIGN_PLANS[@]}"; do
+  # `paai run` exits 1 when nobody is convicted — the *expected* outcome
+  # here; 0 means a conviction and >= 2 means the run itself errored.
+  rc=0
+  "$ASAN_DIR/tools/paai" run --protocol=paai1 --packets=60000 --seed=900 \
+      --blame=hybrid --faults="$plan" > "$SMOKE_DIR/benign.stdout" || rc=$?
+  if [[ $rc -ne 1 ]] || grep -q "CONVICTED" "$SMOKE_DIR/benign.stdout"; then
+    echo "leg 8 FAILED: hybrid falsely convicted (or errored, rc=$rc)" \
+         "under benign plan '$plan':" >&2
+    cat "$SMOKE_DIR/benign.stdout" >&2
+    exit 1
+  fi
+done
+
+echo "check.sh: TSan (exec/runner/fleet/mesh/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean, serve smoke clean, mesh smoke clean, detector smoke clean"

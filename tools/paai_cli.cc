@@ -40,10 +40,18 @@
 //   --faults=SPEC     scripted benign faults (bursty loss, link churn,
 //                     node outages); compact grammar or JSON — see
 //                     docs/FAULTS.md
-//   --blame=MODE      conviction rule: standard (one-standard-error
-//                     margin) or persistent[:K] — require K repeated
-//                     first-failing-hop observations instead of the
-//                     margin (default standard; persistent defaults K=3)
+//   --blame=MODE      conviction rule (docs/DETECTORS.md):
+//                       margin          one-standard-error margin (default)
+//                       persistent[:K]  K repeated first-failing-hop
+//                                       observations instead of the margin
+//                                       (K defaults to 3)
+//                       windowed[:W]    margin, plus convict on a flagrant
+//                                       W-unit window (W defaults to 192)
+//                       hybrid[:K[,W]]  windowed, plus convict after K
+//                                       consecutive hot windows (K=4)
+//                     "standard" is accepted as an alias for margin.
+//                     Also applies to `paai mesh`, where checkpoint
+//                     rounds are the windows (W is ignored there).
 //   --runs=N          (curve) Monte-Carlo runs              (default 50)
 //   --jobs=N          (curve) worker threads; 0 = all cores (default 0)
 //                     results are bit-identical for any value
@@ -175,18 +183,14 @@ AdversarySpec parse_legacy_adversary(const std::string& spec) {
   return out;
 }
 
-/// --blame=standard | persistent[:K]; returns the persistence K (0 =
-/// standard margin rule).
-std::uint64_t parse_blame_mode(const std::string& mode) {
-  if (mode == "standard") return 0;
-  if (mode == "persistent") return 3;
-  if (mode.rfind("persistent:", 0) == 0) {
-    const std::uint64_t k = std::stoull(mode.substr(sizeof("persistent:") - 1));
-    if (k == 0) throw CliError{"--blame=persistent:K wants K >= 1"};
-    return k;
+/// --blame=margin | persistent[:K] | windowed[:W] | hybrid[:K[,W]]
+/// (protocols/window.h grammar; "standard" = margin for back-compat).
+protocols::BlameSpec parse_blame_mode(const std::string& mode) {
+  try {
+    return protocols::BlameSpec::parse(mode);
+  } catch (const std::invalid_argument& e) {
+    throw CliError{std::string("--blame: ") + e.what()};
   }
-  throw CliError{"--blame wants 'standard' or 'persistent[:K]', got '" +
-                 mode + "'"};
 }
 
 ExperimentConfig config_from_args(int argc, char** argv) {
@@ -234,7 +238,7 @@ ExperimentConfig config_from_args(int argc, char** argv) {
     cfg.faults = faults::FaultPlan::parse(*spec);
   }
   if (const auto blame = get_opt(argc, argv, "blame")) {
-    cfg.params.blame_persistence = parse_blame_mode(*blame);
+    cfg.params.blame = parse_blame_mode(*blame);
   }
   return cfg;
 }
@@ -423,7 +427,7 @@ stream::ScoreEngine make_stream_engine(int argc, char** argv) {
     cfg.threshold = std::stod(
         get_opt(argc, argv, "threshold").value_or(std::to_string(rho + 0.008)));
     if (const auto blame = get_opt(argc, argv, "blame")) {
-      cfg.blame_persistence = parse_blame_mode(*blame);
+      cfg.blame = parse_blame_mode(*blame);
     }
     engine.configure(cfg);
   }
@@ -546,6 +550,11 @@ int cmd_replay(int argc, char** argv) {
     // the run's total packet count (checkpoint records carry smaller
     // counts). Bit-identity means the same link set AND the same thetas.
     bool ok = true;
+    const stream::ConvictionRecord* divergent = nullptr;
+    const auto flag = [&](const stream::ConvictionRecord& rec) {
+      if (divergent == nullptr) divergent = &rec;
+      ok = false;
+    };
     std::vector<std::size_t> expected;
     for (const stream::ConvictionRecord& rec : engine.recorded_convictions()) {
       if (rec.packets != engine.packets_sent()) continue;
@@ -556,13 +565,13 @@ int cmd_replay(int argc, char** argv) {
                      "stream %.17g)\n",
                      rec.link, rec.theta,
                      rec.link < thetas.size() ? thetas[rec.link] : 0.0);
-        ok = false;
+        flag(rec);
       }
       if (rec.observations != engine.observations()) {
         std::fprintf(stderr,
                      "verify: observation count mismatch on l_%zu\n",
                      rec.link);
-        ok = false;
+        flag(rec);
       }
     }
     std::sort(expected.begin(), expected.end());
@@ -571,9 +580,47 @@ int cmd_replay(int argc, char** argv) {
                    "verify: conviction set mismatch (batch %zu links, "
                    "stream %zu links)\n",
                    expected.size(), convicted.size());
+      // Point at the first final-checkpoint record the stream's verdict
+      // disagrees with (if the numeric checks above found none).
+      if (divergent == nullptr) {
+        for (const stream::ConvictionRecord& rec :
+             engine.recorded_convictions()) {
+          if (rec.packets != engine.packets_sent()) continue;
+          if (!std::binary_search(convicted.begin(), convicted.end(),
+                                  rec.link)) {
+            divergent = &rec;
+            break;
+          }
+        }
+      }
       ok = false;
     }
-    if (!ok) return 1;
+    if (!ok) {
+      if (divergent != nullptr) {
+        std::fprintf(
+            stderr,
+            "verify: first divergent conviction record: l_%zu "
+            "packets=%llu observations=%llu theta=%.17g (stream line "
+            "%llu)\n",
+            divergent->link,
+            static_cast<unsigned long long>(divergent->packets),
+            static_cast<unsigned long long>(divergent->observations),
+            divergent->theta,
+            static_cast<unsigned long long>(divergent->line));
+      } else {
+        // The stream convicted links the batch never recorded at the
+        // final checkpoint — name them so the divergence is actionable.
+        for (const std::size_t link : convicted) {
+          if (!std::binary_search(expected.begin(), expected.end(), link)) {
+            std::fprintf(stderr,
+                         "verify: stream convicted l_%zu with no matching "
+                         "batch record\n",
+                         link);
+          }
+        }
+      }
+      return 1;
+    }
     std::printf("\nverify: OK — stream verdict bit-identical to the batch "
                 "run (%zu convicted)\n",
                 convicted.size());
@@ -606,6 +653,9 @@ int cmd_mesh(int argc, char** argv) {
       std::stod(get_opt(argc, argv, "threshold").value_or("0.02"));
   cfg.seed0 = std::stoull(get_opt(argc, argv, "seed").value_or("9000"));
   cfg.jobs = std::stoul(get_opt(argc, argv, "jobs").value_or("0"));
+  if (const auto blame = get_opt(argc, argv, "blame")) {
+    cfg.blame = parse_blame_mode(*blame);
+  }
   // Mesh-indexed plans: --fault takes MESH-LINK:RATE, --adversary /
   // --faults take the shared plan grammars with mesh node/link indices.
   for (const auto& f : get_all(argc, argv, "fault")) {
@@ -754,7 +804,8 @@ void usage() {
       "                   [--units=N] [--rounds=N] [--rho=X] "
       "[--threshold=X]\n"
       "                   [--fault=MESHLINK:RATE]... [--adversary=SPEC]...\n"
-      "                   [--faults=SPEC] [--seed=N] [--jobs=N] [--csv]\n"
+      "                   [--faults=SPEC] [--blame=MODE] [--seed=N]\n"
+      "                   [--jobs=N] [--csv]\n"
       "                            many paths over one shared topology;\n"
       "                            convicts from cross-path evidence\n"
       "                            (topology grammar in docs/MESH.md)\n"
@@ -768,7 +819,10 @@ void usage() {
       "see tools/paai_cli.cc header for details and examples; the fault\n"
       "plan grammar is documented in docs/FAULTS.md, the adversary plan\n"
       "grammar (adaptive strategies included) in docs/ADVERSARIES.md, the\n"
-      "forensic event log in docs/OBSERVABILITY.md\n");
+      "--blame conviction-rule grammar "
+      "(margin|persistent:K|windowed:W|hybrid:K,W)\n"
+      "in docs/DETECTORS.md, the forensic event log in "
+      "docs/OBSERVABILITY.md\n");
 }
 
 }  // namespace
