@@ -15,6 +15,11 @@
 //                       metrics registry for the process
 //   --trace-out FILE    write a Chrome trace_event JSON (load in
 //                       chrome://tracing or https://ui.perfetto.dev)
+//   --telemetry-out FILE  stream live "paai.telemetry.v1" JSONL samples
+//                       (obs/telemetry.h); enables the metrics registry
+//                       and the phase self-profiler for the process
+//   --telemetry-every N sampling cadence in bench work units (also env
+//                       PAAI_TELEMETRY_EVERY; default 10000)
 //   --faults SPEC       scripted benign fault plan (compact grammar or
 //                       JSON; see docs/FAULTS.md) applied to every run
 //   --adversary SPEC    declarative adversary plan (compact grammar or
@@ -37,7 +42,9 @@
 #include "adversary/spec.h"
 #include "faults/plan.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "runner/montecarlo.h"
 #include "util/csv.h"
@@ -52,6 +59,8 @@ struct BenchArgs {
   std::size_t jobs = 0;    // 0 = hardware concurrency
   std::optional<std::string> metrics_out;
   std::optional<std::string> trace_out;
+  std::optional<std::string> telemetry_out;
+  long long telemetry_every = 0;  // 0 = the 10000-unit default
   faults::FaultPlan faults{};
   adversary::AdversaryPlan adversaries{};
 
@@ -66,6 +75,9 @@ struct BenchArgs {
     args.jobs = jobs > 0 ? static_cast<std::size_t>(jobs) : 0;
     args.metrics_out = flag_str(argc, argv, "--metrics-out");
     args.trace_out = flag_str(argc, argv, "--trace-out");
+    args.telemetry_out = flag_str(argc, argv, "--telemetry-out");
+    args.telemetry_every =
+        flag_or_env(argc, argv, "--telemetry-every", "PAAI_TELEMETRY_EVERY", 0);
     if (const auto spec = flag_str(argc, argv, "--faults")) {
       args.faults = faults::FaultPlan::parse(*spec);
     }
@@ -127,13 +139,28 @@ class BenchSession {
       : args(BenchArgs::parse(argc, argv)),
         report_(name),
         start_(std::chrono::steady_clock::now()) {
-    if (args.metrics_out || args.trace_out) {
+    if (args.metrics_out || args.trace_out || args.telemetry_out) {
       auto& reg = obs::MetricsRegistry::global();
       reg.reset();
       reg.set_enabled(true);
     }
     if (args.trace_out) {
       trace_ = std::make_unique<obs::TraceRing>(std::size_t{1} << 16);
+    }
+    if (args.telemetry_out) {
+      auto& prof = obs::PhaseProfiler::global();
+      prof.reset();
+      prof.set_enabled(true);
+      telemetry_ = std::make_unique<obs::TelemetrySink>(
+          *args.telemetry_out,
+          args.telemetry_every > 0
+              ? static_cast<std::uint64_t>(args.telemetry_every)
+              : 10000);
+      if (!telemetry_->ok()) {
+        std::fprintf(stderr, "error: cannot write telemetry to %s\n",
+                     args.telemetry_out->c_str());
+        telemetry_.reset();
+      }
     }
     report_.set_arg("runs", args.runs);
     report_.set_arg("scale_percent",
@@ -145,6 +172,7 @@ class BenchSession {
   BenchSession& operator=(const BenchSession&) = delete;
 
   ~BenchSession() {
+    if (telemetry_ != nullptr) telemetry_->final_sample();
     if (args.metrics_out) {
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -173,6 +201,10 @@ class BenchSession {
   /// nullptr unless --trace-out was given; pass to MonteCarloConfig.trace.
   obs::TraceRing* trace() { return trace_.get(); }
 
+  /// nullptr unless --telemetry-out was given; pass to
+  /// MonteCarloConfig/MeshConfig/ServeConfig telemetry.
+  obs::TelemetrySink* telemetry() { return telemetry_.get(); }
+
   void metric(std::string name, double value) {
     report_.set_metric(std::move(name), value);
   }
@@ -192,6 +224,7 @@ class BenchSession {
  private:
   obs::BenchReport report_;
   std::unique_ptr<obs::TraceRing> trace_;
+  std::unique_ptr<obs::TelemetrySink> telemetry_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -225,7 +258,7 @@ inline runner::MonteCarloResult detection_curve(
     protocols::ProtocolKind kind, std::uint64_t packets, std::size_t runs,
     std::size_t grid_points = 16, std::uint64_t first_checkpoint = 100,
     std::size_t jobs = 0, obs::TraceRing* trace = nullptr,
-    const BenchArgs* cli = nullptr) {
+    const BenchArgs* cli = nullptr, obs::TelemetrySink* telemetry = nullptr) {
   runner::MonteCarloConfig mc;
   mc.base = runner::paper_config(kind, packets, 0);
   mc.base.checkpoints =
@@ -236,6 +269,7 @@ inline runner::MonteCarloResult detection_curve(
   mc.sigma = 0.03;
   mc.jobs = jobs;
   mc.trace = trace;
+  mc.telemetry = telemetry;
   if (cli != nullptr) cli->apply_adversaries(mc);
   return runner::run_monte_carlo(mc);
 }

@@ -6,6 +6,7 @@
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "crypto/siphash.h"
+#include "obs/profile.h"
 
 namespace paai::crypto {
 
@@ -26,13 +27,18 @@ Nonce96 make_nonce(std::uint64_t nonce) {
   return n;
 }
 
+// Every provider method opens a kCrypto profiler scope (two branches
+// while profiling is off): the crypto loops dominate PAAI-2 and sig-ack
+// per bench_micro, and the phase self-profiler measures them in situ.
 class RealCrypto final : public CryptoProvider {
  public:
   std::array<std::uint8_t, 32> hash(ByteView message) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     return Sha256::digest(message);
   }
 
   Mac mac(const Key& key, ByteView message) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     const Digest32 full =
         hmac_sha256(ByteView(key.data(), key.size()), message);
     Mac out;
@@ -41,16 +47,19 @@ class RealCrypto final : public CryptoProvider {
   }
 
   std::uint64_t prf(const Key& key, ByteView message) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     return hmac_prf_u64(ByteView(key.data(), key.size()), message);
   }
 
   Bytes encrypt(const Key& key, std::uint64_t nonce,
                 ByteView plaintext) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     return chacha20_xor(key, make_nonce(nonce), 0, plaintext);
   }
 
   Bytes decrypt(const Key& key, std::uint64_t nonce,
                 ByteView ciphertext) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     return chacha20_xor(key, make_nonce(nonce), 0, ciphertext);
   }
 };
@@ -58,6 +67,7 @@ class RealCrypto final : public CryptoProvider {
 class FastCrypto final : public CryptoProvider {
  public:
   std::array<std::uint8_t, 32> hash(ByteView message) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     // Four SipHash lanes under fixed public keys. Wide enough that
     // accidental collisions never perturb a simulation; documented as
     // non-cryptographic in provider.h.
@@ -75,6 +85,7 @@ class FastCrypto final : public CryptoProvider {
   }
 
   Mac mac(const Key& key, ByteView message) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     const std::uint64_t t = sip(key, 0x01, message);
     Mac out;
     for (int i = 0; i < 8; ++i) {
@@ -84,16 +95,19 @@ class FastCrypto final : public CryptoProvider {
   }
 
   std::uint64_t prf(const Key& key, ByteView message) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     return sip(key, 0x02, message);
   }
 
   Bytes encrypt(const Key& key, std::uint64_t nonce,
                 ByteView plaintext) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     return stream_xor(key, nonce, plaintext);
   }
 
   Bytes decrypt(const Key& key, std::uint64_t nonce,
                 ByteView ciphertext) const override {
+    const obs::ScopedPhase phase(obs::Phase::kCrypto);
     return stream_xor(key, nonce, ciphertext);
   }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profile.h"
+
 namespace paai::exec {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -23,6 +25,8 @@ void ThreadPool::submit(std::function<void()> task) {
       throw std::runtime_error("ThreadPool::submit after shutdown");
     }
     queue_.push_back(std::move(task));
+    obs::PhaseProfiler::global().record_queue_depth(obs::QueueId::kExecQueue,
+                                                    queue_.size());
   }
   work_available_.notify_one();
 }
@@ -59,6 +63,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const obs::ScopedPhase phase(obs::Phase::kExecTask);
     task();
   }
 }

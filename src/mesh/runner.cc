@@ -10,6 +10,8 @@
 
 #include "exec/parallel_for.h"
 #include "exec/shard_plan.h"
+#include "obs/profile.h"
+#include "obs/telemetry.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -223,17 +225,26 @@ MeshResult run_stat(const MeshConfig& config) {
   GlobalScoreStore store(num_links, rounds);
   double total_damage = 0.0;
   double baseline_sum = 0.0;
+  std::uint64_t committed_units = 0;
   exec::OrderedReducer<TileResult> reducer(
-      ranges.size(), [&](std::size_t, TileResult&& tile) {
+      ranges.size(), [&](std::size_t ti, TileResult&& tile) {
         store.absorb(tile.shard);
         total_damage += tile.damage;
         baseline_sum += tile.baseline;
+        // Telemetry on the serialized fold: cumulative committed units
+        // make a monotone axis regardless of worker interleaving.
+        committed_units += (ranges[ti].second - ranges[ti].first) *
+                           config.units_per_path;
+        if (config.telemetry != nullptr) {
+          config.telemetry->tick(committed_units);
+        }
       });
 
   MeshResult result;
   result.exec = exec::parallel_for_each(
       ranges.size(),
       [&](std::size_t ti) {
+        const obs::ScopedPhase phase(obs::Phase::kMeshStat);
         TileResult tile(num_links, rounds);
         std::vector<std::uint64_t> path_units(config.paths.max_length(), 0);
         std::vector<std::uint64_t> path_blames(config.paths.max_length(), 0);
@@ -398,6 +409,7 @@ MeshResult run_packet(const MeshConfig& config) {
         }
         total_units += ev.units;
         result.path_outcomes.push_back(std::move(ev.outcome));
+        if (config.telemetry != nullptr) config.telemetry->tick(total_units);
       });
 
   const exec::ShardPlan plan(config.seed0 + 1, num_paths);
@@ -483,6 +495,7 @@ MeshResult run_packet(const MeshConfig& config) {
           }
         }
 
+        const obs::ScopedPhase phase(obs::Phase::kMeshPacket);
         const runner::ExperimentResult run = runner::run_experiment(cfg);
 
         PathEvidence ev;

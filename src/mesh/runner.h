@@ -120,6 +120,11 @@ struct MeshConfig {
   /// Run the clean-template baseline experiment (fleet semantics); the
   /// stat engine instead uses the closed-form (1-rho)^len baseline.
   bool packet_baseline = true;
+
+  /// Optional live telemetry sink (obs/telemetry.h), ticked from each
+  /// engine's serialized reducer with cumulative committed units. Purely
+  /// observational — verdicts are bit-identical with it attached.
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
 /// Per-path outcome, packet engine only (the fleet contract; the stat

@@ -204,6 +204,7 @@ EventReader::Status EventReader::next(Event* out, std::string* error) {
     std::streambuf* const sb = is_->rdbuf();
     std::streambuf::int_type ch;
     while ((ch = sb->sbumpc()) != std::streambuf::traits_type::eof()) {
+      ++bytes_;
       if (ch == '\n') {
         terminated = true;
         break;
@@ -212,8 +213,9 @@ EventReader::Status EventReader::next(Event* out, std::string* error) {
         oversized = true;
         // Skip (unstored) to the end of the offending line so the reader
         // stays usable for count-and-continue callers.
-        while ((ch = sb->sbumpc()) != std::streambuf::traits_type::eof() &&
-               ch != '\n') {
+        while ((ch = sb->sbumpc()) != std::streambuf::traits_type::eof()) {
+          ++bytes_;
+          if (ch == '\n') break;
         }
         break;
       }

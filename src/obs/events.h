@@ -200,12 +200,17 @@ class EventReader {
   /// Malformed lines encountered so far.
   std::uint64_t errors() const { return errors_; }
 
+  /// Bytes consumed from the transport so far (newlines included) — the
+  /// numerator of serve's ingest-rate and back-pressure gauges.
+  std::uint64_t bytes() const { return bytes_; }
+
  private:
   std::istream* is_;
   std::string buf_;
   std::size_t line_no_ = 0;
   std::uint64_t events_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace paai::obs

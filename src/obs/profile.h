@@ -1,0 +1,155 @@
+// PhaseProfiler: a process-wide self-profiler that attributes wall time,
+// call counts, and allocation bytes to a small fixed set of phases — the
+// measurement substrate the ROADMAP's hot-path rewrite is gated on.
+//
+// Where the metrics registry counts *what* happened, the profiler says
+// *where the time went*: the simulator event loop, the crypto hot loops
+// every protocol leans on, the exec pool's task bodies, the mesh engines'
+// tile work, and the stream service's parse/apply halves each get a
+// phase. A ScopedPhase on a hot path costs one relaxed load and a
+// predicted-not-taken branch while disabled — no clock syscalls — so the
+// instrumentation is safe to leave compiled in everywhere.
+//
+// The profiler follows the same observational contract as the metrics
+// registry (see the carve-out in runner/experiment.h): cells are relaxed
+// atomics sharded per thread, registration is static (the Phase enum), it
+// is strictly write-only from inside a run, and no simulation result ever
+// reads it — `Profiler.NeverAffectsResults` in tests/telemetry_test.cc
+// asserts bit-identical results with profiling on and off for all seven
+// protocols.
+//
+// Queue-depth high-waters ride along: the simulator's pending-event heap
+// and the exec pool's work queue record their depth on every push via a
+// CAS-max cell, so a telemetry snapshot can report how deep the backlogs
+// ever got without any per-pop bookkeeping.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace paai::obs {
+
+enum class Phase : std::uint8_t {
+  kSimLoop,      // sim::Simulator::step handler dispatch
+  kCrypto,       // CryptoProvider hash/mac/prf/encrypt/decrypt
+  kExecTask,     // exec::ThreadPool task bodies
+  kMeshStat,     // mesh statistical engine tile bodies
+  kMeshPacket,   // mesh packet engine per-path experiments
+  kStreamParse,  // stream service: EventReader::next
+  kStreamApply,  // stream service: ScoreEngine::apply
+  kSnapshot,     // state snapshots + telemetry sampling itself
+};
+
+inline constexpr std::size_t kPhaseCount = 8;
+
+/// Stable kebab-case name ("sim-loop", "crypto", ...); a string literal,
+/// so it may be handed to TraceRing slots directly.
+const char* phase_name(Phase phase);
+
+enum class QueueId : std::uint8_t {
+  kSimQueue,   // sim::Simulator pending-event heap
+  kExecQueue,  // exec::ThreadPool work queue
+};
+
+inline constexpr std::size_t kQueueIdCount = 2;
+
+/// Stable name ("sim-queue", "exec-queue").
+const char* queue_name(QueueId queue);
+
+struct PhaseTotals {
+  std::uint64_t ns = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t alloc_bytes = 0;
+};
+
+class PhaseProfiler {
+ public:
+  PhaseProfiler() = default;
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// The process-wide profiler. Disabled until someone (a BenchSession
+  /// given --telemetry-out, a test) turns it on.
+  static PhaseProfiler& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Folds one timed call into the phase (no-op while disabled).
+  void add(Phase phase, std::uint64_t ns) {
+    if (!enabled()) return;
+    Cell& cell = cell_for(phase);
+    cell.ns.fetch_add(ns, std::memory_order_relaxed);
+    cell.calls.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Attributes allocated bytes to the phase (no-op while disabled).
+  void add_alloc(Phase phase, std::uint64_t bytes) {
+    if (!enabled()) return;
+    cell_for(phase).alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// CAS-max fold of a queue's current depth into its high-water mark.
+  void record_queue_depth(QueueId queue, std::uint64_t depth) {
+    if (!enabled()) return;
+    auto& cell = queue_high_[static_cast<std::size_t>(queue)];
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (depth > cur && !cell.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Relaxed-read aggregate across shards; exact once writers quiesce.
+  PhaseTotals totals(Phase phase) const;
+
+  std::uint64_t queue_high(QueueId queue) const {
+    return queue_high_[static_cast<std::size_t>(queue)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Zeroes every cell; the enabled flag is left as-is.
+  void reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> alloc_bytes{0};
+  };
+
+  Cell& cell_for(Phase phase);
+
+  // [phase][shard], shard assignment shared with the metrics registry.
+  std::array<Cell, kPhaseCount * 8> cells_{};
+  std::array<std::atomic<std::uint64_t>, kQueueIdCount> queue_high_{};
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII phase timer. The clock is read only while the profiler is
+/// enabled, so a disabled profiler pays two branches per scope.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase)
+      : phase_(phase), active_(PhaseProfiler::global().enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() {
+    if (!active_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    PhaseProfiler::global().add(phase_,
+                                ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+
+ private:
+  Phase phase_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace paai::obs

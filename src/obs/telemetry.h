@@ -1,0 +1,144 @@
+// Live telemetry plane: periodic `paai.telemetry.v1` JSONL snapshots.
+//
+// Everything src/obs produced before this file is post-mortem — the
+// paai.bench.v1 report and the Chrome trace are written when the process
+// exits. The telemetry plane makes the same numbers visible *while the
+// process runs*: a TelemetrySink periodically samples the global
+// MetricsRegistry and PhaseProfiler and appends one delta-encoded JSON
+// line per sample to a file a consumer (`paai top`, tools/telemetry_report)
+// can tail.
+//
+// Line schema (one strict-JSON object per line, fixed key order, sorted
+// metric names — byte-identical across write/parse/rewrite):
+//
+//   {"schema":"paai.telemetry.v1","sample":0,
+//    "wall_ns":"123","virt_ns":"456","units":"789",
+//    "counters":{"name":"delta",...},       // u64 deltas, omitted when 0
+//    "gauges":{"name":[value,high],...},    // absolute int64 pairs
+//    "phases":{"name":["ns","calls","alloc"],...},  // u64 deltas
+//    "queues":{"name":"high",...}}          // absolute u64 high-waters
+//
+// Conventions shared with the forensic event log: u64 payloads travel as
+// decimal strings so full 64-bit values survive double-typed JSON
+// parsers; gauges are int64 and stay JSON numbers, but the parser
+// fail-closes on non-integral values or magnitudes above 2^53 so a
+// parsed document always rewrites byte-identically. `sample` is a
+// monotonic 0-based index; `wall_ns` counts from sink construction;
+// `virt_ns` and `units` are caller-supplied progress clocks (simulated
+// time and applied events / packets / runs respectively).
+//
+// Delta encoding: counters and phases carry the change since the previous
+// sample. Across a registry reset (current total < previous total) the
+// delta restarts from the current value — restart semantics, asserted by
+// tests/telemetry_test.cc. Gauges and queue high-waters are absolute.
+//
+// The parser is fail-closed like every schema in this repo: unknown
+// top-level keys, missing required members, or mistyped values are hard
+// errors, never silently ignored.
+//
+// Thread-safety: tick() is a relaxed load + branch until a sample is due,
+// then a mutex serializes the sample; the registry/profiler snapshots are
+// relaxed reads that tolerate live writers (the TSan leg races a sampler
+// thread against pool writers).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace paai::obs {
+
+struct PhaseDelta {
+  std::uint64_t ns = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t alloc_bytes = 0;
+};
+
+struct TelemetrySample {
+  std::uint64_t sample = 0;   // monotonic 0-based index
+  std::uint64_t wall_ns = 0;  // wall clock since sink construction
+  std::uint64_t virt_ns = 0;  // caller's virtual clock (0 = none)
+  std::uint64_t units = 0;    // caller's progress units
+  /// Counter deltas since the previous sample, sorted by name, zero
+  /// deltas omitted.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Absolute gauge (value, high-water) pairs, sorted by name.
+  std::vector<GaugeSnapshot> gauges;
+  /// Phase deltas since the previous sample, in Phase enum order, phases
+  /// with an all-zero delta omitted.
+  std::vector<std::pair<std::string, PhaseDelta>> phases;
+  /// Queue-depth high-waters (absolute), in QueueId order, zeros omitted.
+  std::vector<std::pair<std::string, std::uint64_t>> queues;
+};
+
+/// Writes one telemetry line (object + '\n'). Deterministic for a given
+/// sample value — the round-trip tests rely on it.
+void write_telemetry_line(std::ostream& os, const TelemetrySample& sample);
+
+/// Strict fail-closed parse of one line (no trailing newline required).
+/// On failure returns false and, when `error` is non-null, a description.
+bool parse_telemetry_line(std::string_view line, TelemetrySample* out,
+                          std::string* error = nullptr);
+
+/// Periodic sampler over the global MetricsRegistry + PhaseProfiler.
+class TelemetrySink {
+ public:
+  /// Appends samples to `path` (truncated on open); every_units <= 0 is
+  /// clamped to 1. Check ok() before relying on output.
+  TelemetrySink(const std::string& path, std::uint64_t every_units);
+
+  /// Test/embedding constructor: samples go to `os`, which must outlive
+  /// the sink.
+  TelemetrySink(std::ostream& os, std::uint64_t every_units);
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  /// False when the file constructor could not open its path.
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  std::uint64_t every() const { return every_; }
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Samples when `units` has crossed the next cadence threshold; cheap
+  /// (one relaxed load) otherwise. Safe to call from any thread.
+  void tick(std::uint64_t units, std::uint64_t virt_ns = 0);
+
+  /// Unconditional sample — the final flush every producer emits on exit.
+  void sample_now(std::uint64_t units, std::uint64_t virt_ns = 0);
+
+  /// sample_now() at the largest (units, virt_ns) ever seen; used by
+  /// owners (BenchSession) that do not know the producer's unit count.
+  void final_sample();
+
+ private:
+  void do_sample(std::uint64_t units, std::uint64_t virt_ns);
+
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::uint64_t every_ = 1;
+  std::atomic<std::uint64_t> next_;
+  std::atomic<std::uint64_t> samples_{0};
+  std::mutex mutex_;
+  std::map<std::string, std::uint64_t> prev_counters_;
+  std::array<PhaseTotals, kPhaseCount> prev_phases_{};
+  std::uint64_t last_units_ = 0;
+  std::uint64_t last_virt_ns_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace paai::obs

@@ -8,6 +8,7 @@
 #include "faults/injector.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "protocols/factory.h"
 #include "sim/simulator.h"
 
@@ -172,6 +173,42 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                     Sampler{simulator, net, result, period, end_time});
   }
 
+  // Live telemetry: a recursive sampler event ticks the sink with the
+  // source's packet count as the unit axis and the simulated clock as the
+  // virtual timestamp. The sampler is strictly observational — it reads
+  // the source, never mutates anything, and the simulator's tie-break seq
+  // means an extra event cannot reorder protocol events relative to each
+  // other. Its own fire count is subtracted from events_processed below
+  // so results stay bit-identical with telemetry on.
+  std::uint64_t telemetry_fires = 0;
+  if (config.telemetry != nullptr) {
+    const sim::SimDuration telemetry_period =
+        send_period *
+        static_cast<sim::SimDuration>(
+            std::max<std::uint64_t>(1, config.telemetry->every()));
+    struct TelemetrySampler {
+      sim::Simulator& simulator;
+      obs::TelemetrySink& sink;
+      protocols::SourceHandle& source;
+      std::uint64_t& fires;
+      sim::SimDuration period;
+      sim::SimTime end;
+
+      void operator()() {
+        ++fires;
+        sink.sample_now(source.packets_sent(),
+                        static_cast<std::uint64_t>(simulator.now()));
+        if (simulator.now() + period <= end) {
+          simulator.after(period, *this);
+        }
+      }
+    };
+    simulator.after(telemetry_period,
+                    TelemetrySampler{simulator, *config.telemetry, *source,
+                                     telemetry_fires, telemetry_period,
+                                     end_time});
+  }
+
   // Adversary bypass ("w/ AAI").
   if (config.bypass_after_packets > 0) {
     const sim::SimTime t =
@@ -228,7 +265,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                   static_cast<double>(arrived)
             : 0.0);
   }
-  result.events_processed = simulator.events_processed();
+  result.events_processed = simulator.events_processed() - telemetry_fires;
 
   if (events != nullptr) {
     // Final verdict: one conviction event per convicted link, then the

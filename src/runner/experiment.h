@@ -39,6 +39,10 @@
 #include "sim/network.h"
 #include "util/timeseries.h"
 
+namespace paai::obs {
+class TelemetrySink;
+}  // namespace paai::obs
+
 namespace paai::runner {
 
 /// One compromised node's behaviour. The full definition (kinds, the
@@ -94,6 +98,17 @@ struct ExperimentConfig {
   /// Fig. 3, implemented exactly like the paper: "resetting F_4's drop
   /// rate to zero").
   std::uint64_t bypass_after_packets = 0;
+
+  /// Optional live telemetry sink (obs/telemetry.h). A periodic sampler
+  /// event snapshots the metrics registry / phase profiler as the run
+  /// progresses, with the simulated clock as the virtual timestamp.
+  /// Strictly observational: sampler events are subtracted from
+  /// events_processed, and they never reorder protocol events (the
+  /// simulator's tie-break seq preserves relative order of all other
+  /// events). Callers sharing one sink across parallel runs get
+  /// interleaved-but-valid samples; the Monte-Carlo driver instead ticks
+  /// its sink from the serialized fold.
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
 struct CheckpointResult {

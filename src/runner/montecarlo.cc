@@ -6,6 +6,7 @@
 #include "exec/parallel_for.h"
 #include "exec/shard_plan.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace paai::runner {
 
@@ -137,8 +138,18 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
       }
     }
   };
-  exec::OrderedReducer<ExperimentResult> reducer(config.runs, fold,
-                                                 config.progress);
+  // Telemetry ticks piggyback on the serialized progress callback so a
+  // multi-threaded fan-out still produces a monotone sample stream.
+  std::function<void(std::size_t)> progress = config.progress;
+  if (config.telemetry != nullptr) {
+    obs::TelemetrySink* const sink = config.telemetry;
+    const std::function<void(std::size_t)> user = config.progress;
+    progress = [sink, user](std::size_t completed) {
+      sink->tick(completed);
+      if (user) user(completed);
+    };
+  }
+  exec::OrderedReducer<ExperimentResult> reducer(config.runs, fold, progress);
 
   result.exec = exec::parallel_for_each(
       config.runs,

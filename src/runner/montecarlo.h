@@ -57,6 +57,11 @@ struct MonteCarloConfig {
   /// count of completed runs, 1..runs, in order. Must not call back into
   /// the Monte-Carlo engine.
   std::function<void(std::size_t)> progress;
+
+  /// Optional live telemetry sink, ticked from the serialized reducer
+  /// with completed-run counts (so a multi-threaded fan-out still
+  /// produces a monotone sample stream). Purely observational.
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
 struct CurvePoint {

@@ -2,11 +2,18 @@
 
 #include <utility>
 
+#include "obs/profile.h"
+
 namespace paai::sim {
 
 void Simulator::at(SimTime t, Handler fn) {
   if (t < now_) t = now_;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+  // Profiler bookkeeping (one relaxed load + branch while disabled):
+  // pending-heap depth high-water and the allocation the push implies.
+  auto& prof = obs::PhaseProfiler::global();
+  prof.record_queue_depth(obs::QueueId::kSimQueue, queue_.size());
+  prof.add_alloc(obs::Phase::kSimLoop, sizeof(Event));
 }
 
 void Simulator::after(SimDuration delay, Handler fn) {
@@ -23,7 +30,10 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.time;
   ++processed_;
-  ev.fn();
+  {
+    const obs::ScopedPhase phase(obs::Phase::kSimLoop);
+    ev.fn();
+  }
   return true;
 }
 

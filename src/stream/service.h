@@ -18,11 +18,16 @@
 
 #include <csignal>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "stream/engine.h"
+
+namespace paai::obs {
+class TelemetrySink;
+}  // namespace paai::obs
 
 namespace paai::stream {
 
@@ -37,6 +42,14 @@ struct ServeConfig {
   bool fail_fast = true;
   /// Announce conviction transitions as JSON lines on the log stream.
   bool announce = true;
+  /// Optional live telemetry sink (obs/telemetry.h), ticked on applied
+  /// events with the event's virtual clock. Purely observational.
+  paai::obs::TelemetrySink* telemetry = nullptr;
+  /// Optional back-pressure probe: bytes of input the transport has
+  /// buffered but the loop has not yet consumed (a slow consumer makes
+  /// this grow). The CLI wires file_size - tellg for file inputs; null =
+  /// backlog unknown. Sampled every few hundred events, never per event.
+  std::function<std::int64_t()> backlog_bytes;
 };
 
 struct ServeReport {
@@ -50,6 +63,14 @@ struct ServeReport {
   std::string error;               // first failure description
   /// Links whose estimates entered the convicted set during this serve.
   std::vector<std::size_t> new_convictions;
+  // --- lag / back-pressure (always populated; stall timers only when an
+  // observer — telemetry sink, profiler, or metrics registry — is on).
+  double wall_seconds = 0.0;           // loop wall time, reader included
+  std::uint64_t parse_stall_ns = 0;    // time blocked reading + parsing
+  std::uint64_t apply_stall_ns = 0;    // time inside engine.apply()
+  std::uint64_t peak_lag_events = 0;   // high-water of events - applied
+  std::int64_t peak_backlog_bytes = 0;   // high-water of backlog probe
+  std::int64_t final_backlog_bytes = 0;  // probe value at exit
 };
 
 /// Pumps `in` through `engine` until EOF, a fatal error, or `*stop != 0`.

@@ -9,7 +9,10 @@
 // files, every metric under "results" is compared; a relative change
 // beyond the threshold is a drift. Wall time, exec telemetry, and the
 // observability section are deliberately ignored — they measure the
-// machine, not the protocols.
+// machine, not the protocols. The suite-level "meta" object
+// (host/compiler/timestamp stamped by bench_snapshot.sh) is ignored for
+// the same reason: only "schema" and "benches"/"results" are read, so
+// snapshots taken on different machines diff on the metrics alone.
 //
 // Options:
 //   --threshold=PCT   relative-change tolerance in percent (default 10)
@@ -195,6 +198,40 @@ int self_test() {
   drop_ignored(ignored, {"t"});
   if (!ignored.empty() || diff(*fa, ignored, 0.10, scratch).compared != 0) {
     std::fprintf(stderr, "self-test: --ignore did not drop the bench\n");
+    return 2;
+  }
+  // Suite documents with differing host `meta` stamps (bench_snapshot.sh)
+  // must diff clean: meta never reaches the metric map.
+  const char* suite_a = R"({"schema":"paai.bench.suite.v1","label":"a",
+    "created_unix":1,
+    "meta":{"cpu_model":"cpu-a","cores":8,"compiler":"g++ 13",
+            "created_utc":"2026-01-01T00:00:00Z"},
+    "benches":{"t":{"schema":"paai.bench.v1","bench":"t",
+                    "results":{"detection_packets":1000}}}})";
+  const char* suite_b = R"({"schema":"paai.bench.suite.v1","label":"b",
+    "created_unix":2,
+    "meta":{"cpu_model":"cpu-b","cores":128,"compiler":"clang 19",
+            "created_utc":"2026-02-02T00:00:00Z"},
+    "benches":{"t":{"schema":"paai.bench.v1","bench":"t",
+                    "results":{"detection_packets":1000}}}})";
+  const auto sa = paai::obs::json_parse(suite_a, &error);
+  const auto sb = paai::obs::json_parse(suite_b, &error);
+  if (!sa || !sb) {
+    std::fprintf(stderr, "self-test: suite fixture parse failed: %s\n",
+                 error.c_str());
+    return 2;
+  }
+  const auto fsa = flatten(*sa, &error);
+  const auto fsb = flatten(*sb, &error);
+  if (!fsa || !fsb || fsa->size() != 1) {
+    std::fprintf(stderr, "self-test: suite flatten failed: %s\n",
+                 error.c_str());
+    return 2;
+  }
+  const DiffStats meta_stats = diff(*fsa, *fsb, 0.10, scratch);
+  if (meta_stats.drifted != 0 || meta_stats.compared != 1 ||
+      !meta_stats.notes.empty()) {
+    std::fprintf(stderr, "self-test: differing meta objects caused drift\n");
     return 2;
   }
   std::printf("bench_diff self-test: ok\n");

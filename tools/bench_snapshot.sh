@@ -8,8 +8,14 @@
 #     "schema": "paai.bench.suite.v1",
 #     "label": "<label>",
 #     "created_unix": <seconds>,
+#     "meta": { "cpu_model": "...", "cores": N, "compiler": "...",
+#               "created_utc": "<ISO-8601 Z>" },
 #     "benches": { "<name>": <paai.bench.v1 document>, ... }
 #   }
+#
+# `meta` records where the numbers came from; tools/bench_diff ignores it
+# by default, so snapshots from different hosts still diff on the metrics
+# alone.
 #
 # Pure bash + the bench binaries themselves — no jq/python. The per-bench
 # documents are emitted by src/obs (BenchReport) and are strict-JSON by
@@ -90,9 +96,25 @@ for spec in "${SPECS[@]}"; do
   names+=("$name")
 done
 
+# Host metadata for the `meta` object. Values land inside JSON string
+# literals, so strip anything that could break them (quotes, backslashes,
+# control chars); cores must be a bare number.
+json_str() { printf '%s' "$1" | tr -d '"\\' | tr -d '\000-\037'; }
+CPU_MODEL="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo \
+    2>/dev/null || true)"
+[[ -n "$CPU_MODEL" ]] || CPU_MODEL="unknown"
+CORES="$(nproc 2>/dev/null || echo 0)"
+[[ "$CORES" =~ ^[0-9]+$ ]] || CORES=0
+COMPILER="$(c++ --version 2>/dev/null | head -n1 || true)"
+[[ -n "$COMPILER" ]] || COMPILER="unknown"
+CREATED_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 {
-  printf '{"schema":"paai.bench.suite.v1","label":%s,"created_unix":%s,"benches":{' \
+  printf '{"schema":"paai.bench.suite.v1","label":%s,"created_unix":%s,' \
       "\"$LABEL\"" "$(date +%s)"
+  printf '"meta":{"cpu_model":"%s","cores":%s,"compiler":"%s","created_utc":"%s"},"benches":{' \
+      "$(json_str "$CPU_MODEL")" "$CORES" "$(json_str "$COMPILER")" \
+      "$CREATED_UTC"
   first=1
   for name in "${names[@]}"; do
     [[ $first -eq 1 ]] || printf ','

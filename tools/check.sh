@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Sanitizer checks, two legs, plus the bench_diff self-check:
 #
-#   1. ThreadSanitizer — exec + runner + fleet + mesh + obs + faults test
-#      suites. Catches data races in the parallel execution engine
-#      (src/exec), in anything run_experiment touches, in the mesh
-#      runner's sharded score accumulation (src/mesh), and in the
+#   1. ThreadSanitizer — exec + runner + fleet + mesh + obs + faults +
+#      telemetry test suites. Catches data races in the parallel execution
+#      engine (src/exec), in anything run_experiment touches, in the mesh
+#      runner's sharded score accumulation (src/mesh), in the
 #      lock-free metrics/tracer
-#      shards (src/obs) that runs write concurrently. faults_test runs the
+#      shards (src/obs) that runs write concurrently, and in the telemetry
+#      sampler racing registry/profiler writers
+#      (Concurrency.SamplerRacesProducers). faults_test runs the
 #      injector's schedule machinery and crash hooks under the Monte-Carlo
 #      fan-out (BitIdenticalAcrossJobs). The other half of the determinism
 #      story (the jobs=1 vs jobs=8 bit-identity test in exec_test) runs in
@@ -52,6 +54,15 @@
 #      shipped benign fault plan — the windowed clauses must not reopen
 #      the Theorem 2 false-accusation door.
 #
+#   9. telemetry smoke — `paai serve` with --telemetry-out over the leg-6
+#      reference stream must emit >= 2 paai.telemetry.v1 lines that the
+#      strict consumer (tools/telemetry_report) validates with zero parse
+#      errors and monotone sample indices, including nonzero
+#      back-pressure gauges; `paai top --once` must render the file;
+#      `replay --verify` must stay bit-identical with telemetry +
+#      profiling enabled; and a sig-ack run's profile must attribute
+#      nonzero time to the crypto phase.
+#
 # Usage: tools/check.sh [tsan-build-dir [asan-build-dir]]
 #        (defaults: build-tsan build-asan)
 set -euo pipefail
@@ -63,7 +74,7 @@ CHAOS_FILTER="--gtest_filter=-*ChaosPaperScale*"
 
 echo "== leg 1: ThreadSanitizer =="
 cmake -B "$TSAN_DIR" -S . -DPAAI_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_DIR" --target exec_test runner_test fleet_test mesh_test obs_test faults_test -j "$(nproc)"
+cmake --build "$TSAN_DIR" --target exec_test runner_test fleet_test mesh_test obs_test faults_test telemetry_test -j "$(nproc)"
 
 # TSAN_OPTIONS makes races hard failures rather than log noise.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -73,6 +84,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$TSAN_DIR/tests/mesh_test"
 "$TSAN_DIR/tests/obs_test"
 "$TSAN_DIR/tests/faults_test" "$CHAOS_FILTER"
+# The Integration.* bit-identity sweeps (14 full runs) are excluded here
+# for runtime, like ChaosPaperScale; they run in the normal ctest config.
+# The race-facing tests (sampler vs. registry/profiler writers, serve
+# lag) are what TSan is for.
+"$TSAN_DIR/tests/telemetry_test" "--gtest_filter=-Integration.*"
 
 echo "== leg 2: AddressSanitizer + UBSan =="
 cmake -B "$ASAN_DIR" -S . -DPAAI_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -259,4 +275,80 @@ for plan in "${BENIGN_PLANS[@]}"; do
   fi
 done
 
-echo "check.sh: TSan (exec/runner/fleet/mesh/obs/faults), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean, serve smoke clean, mesh smoke clean, detector smoke clean"
+echo "== leg 9: telemetry smoke (live paai.telemetry.v1 plane) =="
+cmake --build "$ASAN_DIR" --target telemetry_report -j "$(nproc)"
+# Serve the leg-6 reference stream with telemetry on. telemetry_report IS
+# the strict parser: exit 2 on any malformed line or non-monotone sample
+# index, so schema validity and monotonicity ride on its exit status.
+"$ASAN_DIR/tools/paai" serve --in="$SMOKE_DIR/stream.jsonl" \
+    --telemetry-out="$SMOKE_DIR/serve_tele.jsonl" --telemetry-every=2000 \
+    > "$SMOKE_DIR/serve_tele.stdout" 2> "$SMOKE_DIR/serve_tele.stderr"
+[[ "$(wc -l < "$SMOKE_DIR/serve_tele.jsonl")" -ge 2 ]] || {
+  echo "leg 9 FAILED: serve emitted fewer than 2 telemetry lines" >&2
+  cat "$SMOKE_DIR/serve_tele.jsonl" >&2
+  exit 1
+}
+"$ASAN_DIR/tools/telemetry_report" "$SMOKE_DIR/serve_tele.jsonl" \
+    > "$SMOKE_DIR/serve_tele.report" || {
+  echo "leg 9 FAILED: telemetry_report rejected the serve stream:" >&2
+  cat "$SMOKE_DIR/serve_tele.report" >&2
+  exit 1
+}
+grep -q 'gauge stream\.serve\.lag_events .*peak=[1-9]' \
+    "$SMOKE_DIR/serve_tele.report" || {
+  echo "leg 9 FAILED: serve telemetry has no nonzero lag gauge:" >&2
+  cat "$SMOKE_DIR/serve_tele.report" >&2
+  exit 1
+}
+grep -q 'gauge stream\.serve\.backlog_bytes .*peak=[1-9]' \
+    "$SMOKE_DIR/serve_tele.report" || {
+  echo "leg 9 FAILED: serve telemetry has no nonzero backlog gauge:" >&2
+  cat "$SMOKE_DIR/serve_tele.report" >&2
+  exit 1
+}
+# The exit summary (satellite of the same PR) prints throughput and peak
+# lag on stderr even when telemetry is off; with it on, same line.
+grep -q 'events/s applied' "$SMOKE_DIR/serve_tele.stderr" || {
+  echo "leg 9 FAILED: serve exit summary missing throughput line:" >&2
+  cat "$SMOKE_DIR/serve_tele.stderr" >&2
+  exit 1
+}
+# The live dashboard must render the file in --once mode.
+"$ASAN_DIR/tools/paai" top "$SMOKE_DIR/serve_tele.jsonl" --once \
+    > "$SMOKE_DIR/top.stdout"
+grep -q 'paai top' "$SMOKE_DIR/top.stdout" || {
+  echo "leg 9 FAILED: paai top --once rendered nothing" >&2
+  exit 1
+}
+# Telemetry + profiling must stay strictly observational: the replayed
+# verdict is still bit-identical to the batch run.
+"$ASAN_DIR/tools/paai" replay "$SMOKE_DIR/stream.jsonl" --verify \
+    --telemetry-out="$SMOKE_DIR/replay_tele.jsonl" --telemetry-every=2000 \
+    > "$SMOKE_DIR/replay_tele.stdout" || {
+  echo "leg 9 FAILED: replay --verify diverged with telemetry enabled:" >&2
+  cat "$SMOKE_DIR/replay_tele.stdout" >&2
+  exit 1
+}
+grep -q "verify: OK" "$SMOKE_DIR/replay_tele.stdout" || {
+  echo "leg 9 FAILED: telemetry-enabled replay did not report verify: OK" >&2
+  exit 1
+}
+# A sig-ack run's self-profile must attribute nonzero time to the crypto
+# phase (rc 1 = no conviction, acceptable for this packet budget).
+rc=0
+"$ASAN_DIR/tools/paai" run --protocol=sigack --packets=2000 --seed=1 \
+    --fault=4:0.02 --telemetry-out="$SMOKE_DIR/sigack_tele.jsonl" \
+    --telemetry-every=500 > "$SMOKE_DIR/sigack_tele.stdout" || rc=$?
+[[ $rc -le 1 ]] || {
+  echo "leg 9 FAILED: sig-ack telemetry run errored (rc=$rc)" >&2
+  exit 1
+}
+"$ASAN_DIR/tools/telemetry_report" "$SMOKE_DIR/sigack_tele.jsonl" \
+    > "$SMOKE_DIR/sigack_tele.report"
+grep -q 'phase crypto calls=[1-9]' "$SMOKE_DIR/sigack_tele.report" || {
+  echo "leg 9 FAILED: sig-ack profile shows no crypto phase:" >&2
+  cat "$SMOKE_DIR/sigack_tele.report" >&2
+  exit 1
+}
+
+echo "check.sh: TSan (exec/runner/fleet/mesh/obs/faults/telemetry), ASan+UBSan (obs/util/sim/exec/faults), bench_diff clean, forensics smoke clean, colluder forensics clean, serve smoke clean, mesh smoke clean, detector smoke clean, telemetry smoke clean"

@@ -17,6 +17,10 @@
 //   paai replay  FILE       feed a recorded event log through the stream
 //                           engine; with --verify, assert the result is
 //                           bit-identical to the batch run's verdict
+//   paai top     FILE       live textual dashboard over a paai.telemetry.v1
+//                           JSONL file (written by --telemetry-out):
+//                           rates, serve lag, phase breakdown; --once
+//                           renders a single frame and exits
 //
 // Options (all commands):
 //   --protocol=NAME   full-ack | paai1 | paai2 | comb1 | comb2 | statfl |
@@ -59,6 +63,13 @@
 //   --metrics-out=F   write a paai.bench.v1 JSON document (metrics +
 //                     src/obs counters) for the command
 //   --trace-out=F     write a Chrome trace_event JSON
+//   --telemetry-out=F stream live paai.telemetry.v1 JSONL samples (see
+//                     docs/OBSERVABILITY.md; consume with `paai top` or
+//                     tools/telemetry_report); enables the metrics
+//                     registry and phase self-profiler for the process
+//   --telemetry-every=N  sampling cadence in command work units — serve/
+//                     replay: applied events; run: packets sent; curve:
+//                     completed runs; mesh: committed units (default 10000)
 //   --events-out=F    write the forensic event log as JSONL (run: the
 //                     experiment; curve: Monte-Carlo run 0)
 //   --events-cap=N    per-node event-ring capacity            (default 32768)
@@ -86,15 +97,18 @@
 //   --verify          (replay) exit nonzero unless the engine's verdict
 //                     matches the log's recorded batch convictions exactly
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "adversary/spec.h"
 #include "analysis/bounds.h"
@@ -104,6 +118,8 @@
 #include "util/specgrammar.h"
 #include "obs/events.h"
 #include "obs/forensics.h"
+#include "obs/profile.h"
+#include "obs/telemetry.h"
 #include "runner/montecarlo.h"
 #include "runner/producer.h"
 #include "stream/engine.h"
@@ -269,6 +285,7 @@ int cmd_run(int argc, char** argv) {
   bench::BenchSession session("paai.run", argc, argv);
   ExperimentConfig cfg = config_from_args(argc, argv);
   cfg.path.trace = session.trace();
+  cfg.telemetry = session.telemetry();
   const auto events = make_event_log(argc, argv);
   cfg.path.events = events.get();
   const bool csv = has_flag(argc, argv, "--csv");
@@ -315,6 +332,7 @@ int cmd_curve(int argc, char** argv) {
   MonteCarloConfig mc;
   mc.base = config_from_args(argc, argv);
   mc.trace = session.trace();
+  mc.telemetry = session.telemetry();
   const auto events = make_event_log(argc, argv);
   mc.events = events.get();
   mc.runs = std::stoul(get_opt(argc, argv, "runs").value_or("50"));
@@ -444,7 +462,8 @@ stream::ServeConfig serve_config_from_args(int argc, char** argv) {
 }
 
 void print_serve_summary(const char* cmd, const stream::ServeReport& report,
-                         const stream::ScoreEngine& engine) {
+                         const stream::ScoreEngine& engine,
+                         bool skip_malformed = false) {
   std::fprintf(
       stderr,
       "%s: %zu lines, %llu events (%llu applied, %llu malformed), "
@@ -454,6 +473,22 @@ void print_serve_summary(const char* cmd, const stream::ServeReport& report,
       static_cast<unsigned long long>(report.parse_errors),
       static_cast<unsigned long long>(report.snapshots),
       report.interrupted ? " [drained on SIGINT]" : "");
+  // Lag/throughput line — always, telemetry on or off.
+  const double throughput =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.applied) / report.wall_seconds
+          : 0.0;
+  std::fprintf(stderr,
+               "%s: %.0f events/s applied over %.2fs, peak lag %llu events, "
+               "peak backlog %lld B\n",
+               cmd, throughput, report.wall_seconds,
+               static_cast<unsigned long long>(report.peak_lag_events),
+               static_cast<long long>(report.peak_backlog_bytes));
+  if (skip_malformed && report.parse_errors > 0 && !report.failed) {
+    std::fprintf(stderr,
+                 "%s: skipped %llu malformed lines (--skip-malformed)\n",
+                 cmd, static_cast<unsigned long long>(report.parse_errors));
+  }
   if (engine.configured()) {
     std::fprintf(stderr,
                  "%s: %s, %llu packets, %llu observations, e2e %.4f\n", cmd,
@@ -475,7 +510,23 @@ int cmd_serve(int argc, char** argv) {
     if (!file) throw CliError{"cannot open '" + in_path + "'"};
     in = &file;
   }
-  const stream::ServeConfig cfg = serve_config_from_args(argc, argv);
+  stream::ServeConfig cfg = serve_config_from_args(argc, argv);
+  cfg.telemetry = session.telemetry();
+  if (in_path != "-") {
+    // Back-pressure probe for file inputs: bytes written to the file but
+    // not yet consumed. Re-stat every call so a tail-style producer that
+    // keeps appending is seen growing.
+    cfg.backlog_bytes = [&file, in_path]() -> std::int64_t {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(in_path, ec);
+      if (ec) return 0;
+      const auto pos = file.tellg();
+      if (pos < 0) return 0;
+      const auto consumed = static_cast<std::int64_t>(pos);
+      const auto total = static_cast<std::int64_t>(size);
+      return total > consumed ? total - consumed : 0;
+    };
+  }
 
   g_stop = 0;
   const auto previous = std::signal(SIGINT, handle_sigint);
@@ -489,7 +540,11 @@ int cmd_serve(int argc, char** argv) {
   session.metric("snapshots", static_cast<double>(report.snapshots));
   session.metric("convictions",
                  static_cast<double>(report.new_convictions.size()));
-  print_serve_summary("serve", report, engine);
+  session.metric("peak_lag_events",
+                 static_cast<double>(report.peak_lag_events));
+  session.metric("peak_backlog_bytes",
+                 static_cast<double>(report.peak_backlog_bytes));
+  print_serve_summary("serve", report, engine, !cfg.fail_fast);
   if (report.failed) {
     std::fprintf(stderr, "error: %s\n", report.error.c_str());
     return 2;
@@ -514,6 +569,7 @@ int cmd_replay(int argc, char** argv) {
   stream::ServeConfig cfg = serve_config_from_args(argc, argv);
   cfg.fail_fast = true;   // a recorded log must parse completely
   cfg.announce = false;   // the verdict table below is the output
+  cfg.telemetry = session.telemetry();
   const stream::ServeReport report =
       stream::serve_stream(engine, in, std::cout, cfg, nullptr);
   print_serve_summary("replay", report, engine);
@@ -682,6 +738,7 @@ int cmd_mesh(int argc, char** argv) {
   if (const auto spec = get_opt(argc, argv, "faults")) {
     cfg.faults = faults::FaultPlan::parse(*spec);
   }
+  cfg.telemetry = session.telemetry();
   if (cfg.engine == mesh::MeshEngine::kPacket) {
     cfg.packet_base = paper_config(
         parse_protocol(get_opt(argc, argv, "protocol").value_or("paai1")),
@@ -763,6 +820,160 @@ int cmd_mesh(int argc, char** argv) {
   return r.missed_malicious == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------------ top
+
+/// One refresh worth of telemetry state: every complete, well-formed line
+/// of the file. A torn tail (writer mid-line) is expected and skipped; a
+/// malformed *complete* line is reported once per frame.
+struct TopData {
+  std::vector<obs::TelemetrySample> samples;
+  std::size_t bad_lines = 0;
+  std::string first_error;
+};
+
+TopData read_telemetry_file(const std::string& path) {
+  TopData data;
+  std::ifstream in(path);
+  if (!in) return data;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (in.eof() && !line.empty()) break;  // torn tail: no newline yet
+    if (line.empty()) continue;
+    obs::TelemetrySample sample;
+    std::string error;
+    if (obs::parse_telemetry_line(line, &sample, &error)) {
+      data.samples.push_back(std::move(sample));
+    } else {
+      ++data.bad_lines;
+      if (data.first_error.empty()) data.first_error = error;
+    }
+  }
+  return data;
+}
+
+void render_top_frame(const std::string& path, const TopData& data) {
+  if (data.samples.empty()) {
+    std::printf("paai top — %s: no samples yet\n", path.c_str());
+    return;
+  }
+  const obs::TelemetrySample& last = data.samples.back();
+  const obs::TelemetrySample* prev =
+      data.samples.size() >= 2 ? &data.samples[data.samples.size() - 2]
+                               : nullptr;
+  std::printf("paai top — %s   sample %llu   (%zu samples%s)\n",
+              path.c_str(), static_cast<unsigned long long>(last.sample),
+              data.samples.size(),
+              data.bad_lines > 0 ? ", MALFORMED LINES PRESENT" : "");
+  const double wall_s = static_cast<double>(last.wall_ns) / 1e9;
+  std::printf("units %llu   wall %.2fs   virt %.3fs\n",
+              static_cast<unsigned long long>(last.units), wall_s,
+              static_cast<double>(last.virt_ns) / 1e9);
+  // Rates: mean over the whole stream plus the last inter-sample interval.
+  if (wall_s > 0.0) {
+    std::printf("rate: %.0f units/s mean",
+                static_cast<double>(last.units) / wall_s);
+    if (prev != nullptr && last.wall_ns > prev->wall_ns) {
+      const double dt =
+          static_cast<double>(last.wall_ns - prev->wall_ns) / 1e9;
+      const double du = static_cast<double>(last.units - prev->units);
+      std::printf("   %.0f units/s last interval", du / dt);
+    }
+    std::printf("\n");
+  }
+  if (!last.gauges.empty()) {
+    std::printf("\n%-32s %14s %14s\n", "gauge", "value", "high");
+    for (const obs::GaugeSnapshot& g : last.gauges) {
+      std::printf("%-32s %14lld %14lld\n", g.name.c_str(),
+                  static_cast<long long>(g.value),
+                  static_cast<long long>(g.high));
+    }
+  }
+  if (!last.queues.empty()) {
+    std::printf("\n%-32s %14s\n", "queue", "peak depth");
+    for (const auto& [name, high] : last.queues) {
+      std::printf("%-32s %14llu\n", name.c_str(),
+                  static_cast<unsigned long long>(high));
+    }
+  }
+  // Phase breakdown aggregated over ALL samples (each line carries
+  // deltas); inclusive times — nested scopes (crypto inside sim-loop)
+  // overlap, so no percent column.
+  std::array<obs::PhaseDelta, obs::kPhaseCount> totals{};
+  for (const obs::TelemetrySample& s : data.samples) {
+    for (const auto& [name, delta] : s.phases) {
+      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+        if (name == obs::phase_name(static_cast<obs::Phase>(p))) {
+          totals[p].ns += delta.ns;
+          totals[p].calls += delta.calls;
+          totals[p].alloc_bytes += delta.alloc_bytes;
+        }
+      }
+    }
+  }
+  bool any_phase = false;
+  for (const auto& t : totals) any_phase |= t.calls > 0 || t.ns > 0;
+  if (any_phase) {
+    std::printf("\n%-16s %12s %14s %14s\n", "phase", "calls", "time (ms)",
+                "alloc (B)");
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      if (totals[p].calls == 0 && totals[p].ns == 0) continue;
+      std::printf("%-16s %12llu %14.2f %14llu\n",
+                  obs::phase_name(static_cast<obs::Phase>(p)),
+                  static_cast<unsigned long long>(totals[p].calls),
+                  static_cast<double>(totals[p].ns) / 1e6,
+                  static_cast<unsigned long long>(totals[p].alloc_bytes));
+    }
+  }
+  if (!last.counters.empty()) {
+    std::printf("\n%-32s %14s\n", "counter (last delta)", "delta");
+    for (const auto& [name, delta] : last.counters) {
+      std::printf("%-32s %14llu\n", name.c_str(),
+                  static_cast<unsigned long long>(delta));
+    }
+  }
+  if (data.bad_lines > 0) {
+    std::printf("\n%zu malformed lines; first: %s\n", data.bad_lines,
+                data.first_error.c_str());
+  }
+}
+
+int cmd_top(int argc, char** argv) {
+  std::string path;
+  if (argc >= 3 && argv[2][0] != '-') {
+    path = argv[2];
+  } else if (const auto opt = get_opt(argc, argv, "in")) {
+    path = *opt;
+  } else {
+    throw CliError{"top wants a telemetry file: paai top FILE [--once]"};
+  }
+  const bool once = has_flag(argc, argv, "--once");
+  const long interval_ms =
+      std::stol(get_opt(argc, argv, "interval-ms").value_or("1000"));
+
+  if (once) {
+    const TopData data = read_telemetry_file(path);
+    render_top_frame(path, data);
+    return data.samples.empty() ? 1 : 0;
+  }
+
+  g_stop = 0;
+  const auto previous = std::signal(SIGINT, handle_sigint);
+  std::uint64_t rendered = 0;
+  while (g_stop == 0) {
+    const TopData data = read_telemetry_file(path);
+    // ANSI clear + home; falls back to plain scrolling on dumb terminals.
+    std::printf("\x1b[2J\x1b[H");
+    render_top_frame(path, data);
+    std::fflush(stdout);
+    rendered = data.samples.size();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        interval_ms > 0 ? interval_ms : 1000));
+  }
+  std::signal(SIGINT, previous);
+  std::printf("\n");
+  return rendered > 0 ? 0 : 1;
+}
+
 int cmd_bounds(int argc, char** argv) {
   analysis::Params p;
   p.d = std::stoul(get_opt(argc, argv, "d").value_or("6"));
@@ -799,6 +1010,7 @@ void usage() {
       "            [--faults=SPEC] [--runs=N] [--jobs=N] [--seed=N] "
       "[--csv]\n"
       "            [--metrics-out=FILE] [--trace-out=FILE]\n"
+      "            [--telemetry-out=FILE] [--telemetry-every=N]\n"
       "            [--events-out=FILE] [--events-cap=N] [--blame=MODE]\n"
       "       paai mesh   [--topo=SPEC] [--paths=N] [--engine=stat|packet]\n"
       "                   [--units=N] [--rounds=N] [--rho=X] "
@@ -816,6 +1028,10 @@ void usage() {
       "       paai replay FILE [--verify] [--state-in/--state-out]\n"
       "                            stream engine over a recorded log;\n"
       "                            --verify asserts batch bit-identity\n"
+      "       paai top FILE [--once] [--interval-ms=N]\n"
+      "                            live dashboard over a paai.telemetry.v1\n"
+      "                            JSONL file (--telemetry-out of any\n"
+      "                            command); --once prints one frame\n"
       "see tools/paai_cli.cc header for details and examples; the fault\n"
       "plan grammar is documented in docs/FAULTS.md, the adversary plan\n"
       "grammar (adaptive strategies included) in docs/ADVERSARIES.md, the\n"
@@ -841,6 +1057,7 @@ int main(int argc, char** argv) {
     if (cmd == "explain") return cmd_explain(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "replay") return cmd_replay(argc, argv);
+    if (cmd == "top") return cmd_top(argc, argv);
   } catch (const CliError& e) {
     std::fprintf(stderr, "error: %s\n", e.message.c_str());
     return 2;
